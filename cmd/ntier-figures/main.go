@@ -1,0 +1,484 @@
+// Command ntier-figures regenerates the dataset behind every table and
+// figure in the paper's evaluation, writing one text report per experiment
+// into -out (default ./results).
+//
+//	ntier-figures                  # all experiments, scaled-down trials
+//	ntier-figures -only fig4,fig5  # a subset
+//	ntier-figures -full            # paper-scale 8-min ramp / 12-min runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/tier"
+)
+
+type genFunc func(g *generator) (string, error)
+
+type generator struct {
+	ramp, measure time.Duration
+	seed          uint64
+}
+
+func (g *generator) base(hw, soft string) ntier.RunConfig {
+	h, err := ntier.ParseHardware(hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := ntier.ParseSoftAlloc(soft)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ntier.RunConfig{
+		Testbed: ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
+		RampUp:  g.ramp,
+		Measure: g.measure,
+	}
+}
+
+func span(lo, hi, step int) []int {
+	var out []int
+	for n := lo; n <= hi; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+var registry = map[string]genFunc{
+	"fig2":     fig2,
+	"fig3":     fig3,
+	"fig4":     fig4,
+	"fig5":     fig5,
+	"fig6":     fig6,
+	"fig7":     fig7,
+	"fig8":     fig8,
+	"fig10":    fig10,
+	"table1":   table1,
+	"ablation": ablations,
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory")
+		only = flag.String("only", "", "comma-separated subset (fig2..fig10, table1, ablation)")
+		full = flag.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	g := &generator{ramp: 30 * time.Second, measure: 45 * time.Second, seed: *seed}
+	if *full {
+		g.ramp, g.measure = 8*time.Minute, 12*time.Minute
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	} else {
+		for name := range registry {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fn, ok := registry[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Printf("== %s\n", name)
+		start := time.Now()
+		text, err := fn(g)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(*out, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   wrote %s (%.1fs)\n", path, time.Since(start).Seconds())
+	}
+}
+
+// fig2: goodput of 1/2/1/2 under 400-6-6 vs 400-15-6 at three SLA
+// thresholds (under-allocation impact).
+func fig2(g *generator) (string, error) {
+	users := span(4200, 6800, 400)
+	low, err := ntier.WorkloadSweep(g.base("1/2/1/2", "400-6-6"), users)
+	if err != nil {
+		return "", err
+	}
+	good, err := ntier.WorkloadSweep(g.base("1/2/1/2", "400-15-6"), users)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: goodput comparison, 1/2/1/2, under-allocation of Tomcat pools\n\n")
+	for _, th := range ntier.StandardThresholds {
+		b.WriteString(ntier.CurveTable(fmt.Sprintf("(threshold %v)", th), th, low, good).String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// fig3: the same allocations on 1/4/1/4 (over-allocation crossover) plus
+// the response-time distribution at workload 7000.
+func fig3(g *generator) (string, error) {
+	users := span(6000, 7800, 300)
+	low, err := ntier.WorkloadSweep(g.base("1/4/1/4", "400-6-6"), users)
+	if err != nil {
+		return "", err
+	}
+	high, err := ntier.WorkloadSweep(g.base("1/4/1/4", "400-15-6"), users)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: over-allocation crossover, 1/4/1/4\n\n")
+	for _, th := range []time.Duration{500 * time.Millisecond, time.Second} {
+		b.WriteString(ntier.CurveTable(fmt.Sprintf("(threshold %v)", th), th, low, high).String())
+		b.WriteString("\n")
+	}
+	// Use the sweep point closest to the paper's workload 7000.
+	idx, best := 0, 1<<62
+	for i, n := range users {
+		if d := n - 7000; d*d < best {
+			idx, best = i, d*d
+		}
+	}
+	fmt.Fprintf(&b, "Figure 3(c): response-time distribution at workload %d\n", users[idx])
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "bucket [s]", "400-6-6", "400-15-6")
+	if idx >= 0 {
+		hLow := low.Results[idx].SLA.Histogram()
+		hHigh := high.Results[idx].SLA.Histogram()
+		labels := hLow.Labels()
+		fl, fh := hLow.Fractions(), hHigh.Fractions()
+		for i, lab := range labels {
+			fmt.Fprintf(&b, "%-10s %11.1f%% %11.1f%%\n", lab, fl[i]*100, fh[i]*100)
+		}
+	}
+	return b.String(), nil
+}
+
+// fig4: Tomcat thread-pool under-allocation on 1/2/1/2 — goodput, Tomcat
+// CPU, and thread-pool utilization density per size.
+func fig4(g *generator) (string, error) {
+	users := span(4000, 6800, 400)
+	base := g.base("1/2/1/2", "400-15-20")
+	points, err := ntier.AllocSweep(base, users, []int{6, 10, 20, 200}, ntier.VaryAppThreads)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: Tomcat thread-pool under/over-allocation, 1/2/1/2 (Apache 400, conns 20)\n\n")
+	var curves []*ntier.Curve
+	for _, p := range points {
+		curves = append(curves, p.Curve)
+	}
+	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
+
+	b.WriteString("\n(d) mean Tomcat CPU utilization [%]\n")
+	fmt.Fprintf(&b, "%-9s", "workload")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %12s", p.Soft)
+	}
+	b.WriteString("\n")
+	for i, n := range users {
+		fmt.Fprintf(&b, "%-9d", n)
+		for _, p := range points {
+			fmt.Fprintf(&b, " %12.1f", experiment.TierCPU(p.Curve.Results[i].Tomcat)*100)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\n(b,c,e,f) thread-pool utilization density: fraction of time at pool occupancy decile\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "\npool size %d (%s): rows = workload, cols = occupancy 0-10%% .. 90-100%%\n",
+			p.Soft.AppThreads, p.Soft)
+		for i, n := range users {
+			st := p.Curve.Results[i].Tomcat[0].Pool("/threads")
+			if st == nil {
+				continue
+			}
+			deciles := make([]float64, 10)
+			var total time.Duration
+			for occ, d := range st.OccTime {
+				total += d
+				dec := occ * 10 / st.Capacity
+				if dec > 9 {
+					dec = 9
+				}
+				deciles[dec] += d.Seconds()
+			}
+			fmt.Fprintf(&b, "%6d |", n)
+			for _, d := range deciles {
+				fmt.Fprintf(&b, " %5.2f", d/total.Seconds())
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// fig5: DB connection-pool over-allocation on 1/4/1/4 — goodput, C-JDBC
+// CPU, and total JVM GC time.
+func fig5(g *generator) (string, error) {
+	users := span(6000, 7800, 600)
+	base := g.base("1/4/1/4", "400-200-10")
+	points, err := ntier.AllocSweep(base, users, []int{10, 50, 100, 200}, ntier.VaryAppConns)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 5: DB connection-pool over-allocation, 1/4/1/4 (Apache 400, threads 200)\n\n")
+	var curves []*ntier.Curve
+	for _, p := range points {
+		curves = append(curves, p.Curve)
+	}
+	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
+
+	b.WriteString("\n(a') overall throughput [req/s]\n")
+	fmt.Fprintf(&b, "%-9s", "workload")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %14s", p.Soft)
+	}
+	b.WriteString("\n")
+	for i, n := range users {
+		fmt.Fprintf(&b, "%-9d", n)
+		for _, p := range points {
+			fmt.Fprintf(&b, " %14.1f", p.Curve.Results[i].Throughput())
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\n(b) C-JDBC CPU utilization [%]   (c) C-JDBC total GC time [s] and share of runtime\n")
+	fmt.Fprintf(&b, "%-9s", "workload")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %20s", p.Soft)
+	}
+	b.WriteString("\n")
+	for i, n := range users {
+		fmt.Fprintf(&b, "%-9d", n)
+		for _, p := range points {
+			r := p.Curve.Results[i]
+			gc := r.CJDBC[0].GC
+			fmt.Fprintf(&b, "   %5.1f%% %6.1fs(%4.1f%%)",
+				r.CJDBC[0].CPUUtil*100, gc.TotalGC.Seconds(), gc.GCFraction*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// fig6: Apache thread-pool buffering on 1/4/1/4 — goodput and the
+// non-monotone C-JDBC CPU utilization.
+func fig6(g *generator) (string, error) {
+	users := span(6000, 7800, 300)
+	base := g.base("1/4/1/4", "400-6-20")
+	points, err := ntier.AllocSweep(base, users, []int{50, 100, 200, 300, 400}, ntier.VaryWebThreads)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6: Apache thread-pool buffering, 1/4/1/4 (Tomcat 6 threads / 20 conns)\n\n")
+	var curves []*ntier.Curve
+	for _, p := range points {
+		curves = append(curves, p.Curve)
+	}
+	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
+
+	b.WriteString("\n(b) C-JDBC CPU utilization [%] — decreases with workload for small Apache pools\n")
+	fmt.Fprintf(&b, "%-9s", "workload")
+	for _, p := range points {
+		fmt.Fprintf(&b, " %12d", p.Soft.WebThreads)
+	}
+	b.WriteString("\n")
+	for i, n := range users {
+		fmt.Fprintf(&b, "%-9d", n)
+		for _, p := range points {
+			fmt.Fprintf(&b, " %12.1f", p.Curve.Results[i].CJDBC[0].CPUUtil*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// apacheTimeline renders the Fig. 7/8 per-second Apache view.
+func apacheTimeline(g *generator, soft string, users int, seconds int) (string, error) {
+	cfg := g.base("1/4/1/4", soft)
+	cfg.Users = users
+	cfg.Timeline = true
+	res, err := ntier.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	tl := res.Timeline
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocation %s, workload %d: %s\n", soft, users, res.Describe())
+	fmt.Fprintf(&b, "%-5s %10s %12s %12s %10s %12s\n",
+		"sec", "processed", "PT_total", "PT_connTC", "active", "connTomcat")
+	n := len(tl.Processed)
+	if n > seconds {
+		n = seconds
+	}
+	for i := 0; i < n; i++ {
+		act, conn := 0.0, 0.0
+		if i < len(tl.ActiveRaw) {
+			act, conn = tl.ActiveRaw[i], tl.ConnectRaw[i]
+		}
+		fmt.Fprintf(&b, "%-5d %10.0f %10.1fms %10.1fms %10.0f %12.0f\n",
+			i, tl.Processed[i], tl.PTTotalMS[i], tl.PTConnectMS[i], act, conn)
+	}
+	return b.String(), nil
+}
+
+// fig7: Apache internals with a 300-worker pool at workloads 6000 and 7400.
+func fig7(g *generator) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 7: small Apache buffer (300 workers), per-second internals\n\n")
+	for _, wl := range []int{6000, 7400} {
+		fmt.Fprintf(&b, "--- workload %d ---\n", wl)
+		s, err := apacheTimeline(g, "300-6-20", wl, 60)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// fig8: the same analysis with a 400-worker pool at workload 7400.
+func fig8(g *generator) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 8: large Apache buffer (400 workers), per-second internals\n\n")
+	s, err := apacheTimeline(g, "400-6-20", 7400, 60)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(s)
+	return b.String(), nil
+}
+
+// table1 runs Algorithm 1 on both paper hardware configurations.
+func table1(g *generator) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table I: output of the allocation algorithm\n\n")
+	for _, hw := range []string{"1/2/1/2", "1/4/1/4"} {
+		h, _ := ntier.ParseHardware(hw)
+		s, _ := ntier.ParseSoftAlloc("400-15-20")
+		rep, err := ntier.Tune(ntier.TunerConfig{
+			Base: ntier.RunConfig{
+				Testbed: ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
+				RampUp:  g.ramp,
+				Measure: g.measure,
+			},
+		})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(rep.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// fig10 validates the algorithm's recommendations against exhaustive pool
+// sweeps.
+func fig10(g *generator) (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 10: validation — max throughput vs pool size\n\n")
+
+	// (a) 1/2/1/2: Tomcat thread pool sweep (Apache 400, conns 20 fixed).
+	users := span(5200, 6400, 400)
+	base := g.base("1/2/1/2", "400-15-20")
+	points, err := ntier.AllocSweep(base, users, []int{4, 6, 8, 10, 13, 16, 20, 30, 60, 120, 200}, ntier.VaryAppThreads)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("(a) 1/2/1/2 (400-#-20): max TP vs thread pool size per Tomcat\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  threads %3d: %8.1f req/s\n", p.Soft.AppThreads, p.Curve.MaxThroughput())
+	}
+
+	// (b) 1/4/1/4: DB connection pool sweep (Apache 400, threads 200).
+	users = span(6400, 7600, 400)
+	base = g.base("1/4/1/4", "400-200-10")
+	points, err = ntier.AllocSweep(base, users, []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20}, ntier.VaryAppConns)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\n(b) 1/4/1/4 (400-200-#): max TP vs DB conn pool size per Tomcat\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  conns %3d: %8.1f req/s\n", p.Soft.AppConns, p.Curve.MaxThroughput())
+	}
+	return b.String(), nil
+}
+
+// ablations re-run key sweeps with individual mechanisms disabled,
+// demonstrating which model component produces which paper phenomenon.
+func ablations(g *generator) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablations: mechanism attribution\n\n")
+
+	// (1) Fig. 5 without the JVM GC model: conn over-allocation is nearly
+	// free, flattening the ordering.
+	users := []int{7000, 7800}
+	for _, disable := range []bool{false, true} {
+		base := g.base("1/4/1/4", "400-200-10")
+		base.Testbed.DisableGC = disable
+		points, err := ntier.AllocSweep(base, users, []int{10, 200}, ntier.VaryAppConns)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "conn sweep, GC disabled=%v:\n", disable)
+		for _, p := range points {
+			fmt.Fprintf(&b, "  %-12s maxTP %8.1f\n", p.Soft, p.Curve.MaxThroughput())
+		}
+	}
+
+	// (2) Fig. 6 without lingering close: small Apache pools stop hurting.
+	for _, disable := range []bool{false, true} {
+		base := g.base("1/4/1/4", "400-6-20")
+		base.Testbed.DisableFinWait = disable
+		points, err := ntier.AllocSweep(base, []int{7400}, []int{100, 400}, ntier.VaryWebThreads)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nApache sweep, FIN wait disabled=%v:\n", disable)
+		for _, p := range points {
+			fmt.Fprintf(&b, "  %-12s TP %8.1f\n", p.Soft, p.Curve.MaxThroughput())
+		}
+	}
+
+	// (3) Fig. 3 without the scheduling-thrash model: the over-allocation
+	// penalty at pinned connection pools disappears.
+	for _, disable := range []bool{false, true} {
+		base := g.base("1/4/1/4", "400-15-6")
+		if disable {
+			base.Testbed.TuneCJDBC = func(c *tier.CJDBCConfig) {
+				c.ThrashCoeff = 0
+				c.CtxSwitchCoeff = 0
+			}
+		}
+		curve, err := ntier.WorkloadSweep(base, []int{7000, 7400})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n400-15-6 sweep, thrash disabled=%v: goodput(1s) %v\n",
+			disable, curve.Goodputs(time.Second))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,150 @@
+// Command ntier-sweep runs workload sweeps and soft-allocation sweeps,
+// printing the goodput series behind the paper's figures.
+//
+// Compare two allocations across a workload range (Fig. 2 / Fig. 3):
+//
+//	ntier-sweep -hw 1/2/1/2 -soft 400-6-6,400-15-6 -wl 5000:6800:400
+//
+// Sweep a pool size (Fig. 4 / 5 / 6 / 10):
+//
+//	ntier-sweep -hw 1/2/1/2 -soft 400-15-20 -vary threads -sizes 6,10,20,200 -wl 4000:6800:400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	ntier "github.com/softres/ntier"
+)
+
+func main() {
+	var (
+		hwS     = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS   = flag.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
+		wlS     = flag.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		ramp    = flag.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure = flag.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		vary    = flag.String("vary", "", "pool to sweep: threads, conns, or web")
+		sizesS  = flag.String("sizes", "", "comma-separated pool sizes for -vary")
+		thS     = flag.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
+		noGC    = flag.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin   = flag.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+	)
+	flag.Parse()
+
+	hw, err := ntier.ParseHardware(*hwS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, err := parseWorkloads(*wlS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := ntier.RunConfig{
+		Testbed: ntier.TestbedOptions{
+			Hardware:       hw,
+			Seed:           *seed,
+			DisableGC:      *noGC,
+			DisableFinWait: *noFin,
+		},
+		RampUp:  *ramp,
+		Measure: *measure,
+	}
+
+	var curves []*ntier.Curve
+	if *vary != "" {
+		soft, err := ntier.ParseSoftAlloc(strings.Split(*softS, ",")[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		base.Testbed.Soft = soft
+		sizes, err := parseInts(*sizesS)
+		if err != nil || len(sizes) == 0 {
+			log.Fatalf("-vary needs -sizes (got %q)", *sizesS)
+		}
+		var fn func(ntier.SoftAlloc, int) ntier.SoftAlloc
+		switch *vary {
+		case "threads":
+			fn = ntier.VaryAppThreads
+		case "conns":
+			fn = ntier.VaryAppConns
+		case "web":
+			fn = ntier.VaryWebThreads
+		default:
+			log.Fatalf("unknown -vary %q (want threads, conns, or web)", *vary)
+		}
+		points, err := ntier.AllocSweep(base, users, sizes, fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range points {
+			curves = append(curves, p.Curve)
+		}
+		fmt.Printf("max throughput per allocation (%s sweep):\n", *vary)
+		for _, p := range points {
+			fmt.Printf("  %-14s maxTP %8.1f  maxGoodput(%v) %8.1f\n",
+				p.Soft, p.Curve.MaxThroughput(), *thS, p.Curve.MaxGoodput(*thS))
+		}
+		fmt.Println()
+	} else {
+		for _, s := range strings.Split(*softS, ",") {
+			soft, err := ntier.ParseSoftAlloc(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := base
+			cfg.Testbed.Soft = soft
+			curve, err := ntier.WorkloadSweep(cfg, users)
+			if err != nil {
+				log.Fatal(err)
+			}
+			curves = append(curves, curve)
+		}
+	}
+
+	title := fmt.Sprintf("goodput [req/s] within %v", *thS)
+	fmt.Print(ntier.CurveTable(title, *thS, curves...).String())
+}
+
+func parseWorkloads(s string) ([]int, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("range must be lo:hi:step, got %q", s)
+		}
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		step, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("bad range %q", s)
+		}
+		var out []int
+		for n := lo; n <= hi; n += step {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	return parseInts(s)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

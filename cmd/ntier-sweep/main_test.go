@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseWorkloadsRange(t *testing.T) {
+	got, err := parseWorkloads("5000:6200:400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5000, 5400, 5800, 6200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseWorkloadsList(t *testing.T) {
+	got, err := parseWorkloads("100, 200,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[2] != 300 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseWorkloadsErrors(t *testing.T) {
+	for _, bad := range []string{"1:2", "1:2:3:4", "a:2:3", "5:1:1", "1:5:0", "x,y"} {
+		if _, err := parseWorkloads(bad); err == nil {
+			t.Errorf("parseWorkloads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseIntsSkipsEmpty(t *testing.T) {
+	got, err := parseInts("1,,2, ,3")
+	if err == nil {
+		// " " is not a number — expect an error only for non-empty junk;
+		// empty segments are skipped.
+		if len(got) != 3 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command ntier-tune runs the paper's soft-resource allocation algorithm
+// (Algorithm 1) against a hardware configuration and prints the Table-I
+// style report; -validate additionally sweeps the recommended pool to show
+// the Fig. 10 validation curve.
+//
+// Usage:
+//
+//	ntier-tune -hw 1/2/1/2
+//	ntier-tune -hw 1/4/1/4 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	ntier "github.com/softres/ntier"
+)
+
+func main() {
+	var (
+		hwS      = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS    = flag.String("soft0", "400-15-20", "initial soft allocation S0")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		ramp     = flag.Duration("ramp", 30*time.Second, "ramp-up period per trial (simulated)")
+		measure  = flag.Duration("measure", 45*time.Second, "measured runtime per trial (simulated)")
+		step     = flag.Int("step", 1000, "coarse workload step")
+		small    = flag.Int("smallstep", 400, "fine workload step")
+		validate = flag.Bool("validate", false, "sweep the recommended pool size (Fig. 10)")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	hw, err := ntier.ParseHardware(*hwS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	soft, err := ntier.ParseSoftAlloc(*softS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ntier.TunerConfig{
+		Base: ntier.RunConfig{
+			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
+			RampUp:  *ramp,
+			Measure: *measure,
+		},
+		Step:      *step,
+		SmallStep: *small,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	rep, err := ntier.Tune(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+
+	if !*validate {
+		return
+	}
+	fmt.Println("\nValidation sweep (Fig. 10): max throughput vs pool size")
+	base := cfg.Base
+	base.Testbed.Soft = rep.ReservedSoft
+	var (
+		sizes []int
+		varyF func(ntier.SoftAlloc, int) ntier.SoftAlloc
+		rec   int
+		what  string
+	)
+	if rep.Critical.Tier == "cjdbc" {
+		// Control C-JDBC threads through the Tomcat DB connection pool.
+		rec = rep.Recommended.AppConns
+		varyF = ntier.VaryAppConns
+		what = "DB conn pool per Tomcat"
+	} else {
+		rec = rep.Recommended.AppThreads
+		varyF = ntier.VaryAppThreads
+		what = "thread pool per Tomcat"
+	}
+	for _, s := range []int{rec / 4, rec / 2, rec - 2, rec, rec + 2, rec * 2, rec * 6} {
+		if s >= 1 && (len(sizes) == 0 || s > sizes[len(sizes)-1]) {
+			sizes = append(sizes, s)
+		}
+	}
+	users := []int{rep.SaturationWL - *small, rep.SaturationWL, rep.SaturationWL + *small}
+	points, err := ntier.AllocSweep(base, users, sizes, varyF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %12s\n", what, "max TP [req/s]")
+	for _, p := range points {
+		size := p.Soft.AppThreads
+		if rep.Critical.Tier == "cjdbc" {
+			size = p.Soft.AppConns
+		}
+		marker := ""
+		if size == rec {
+			marker = "  <- recommended"
+		}
+		fmt.Printf("%-10d %12.1f%s\n", size, p.Curve.MaxThroughput(), marker)
+	}
+}

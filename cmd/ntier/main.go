@@ -1,0 +1,108 @@
+// Command ntier runs a single measured experiment against a simulated
+// n-tier deployment and prints throughput, goodput per SLA threshold, and
+// per-server monitoring — the equivalent of one paper trial.
+//
+// Usage:
+//
+//	ntier -hw 1/2/1/2 -soft 400-15-6 -wl 6000
+//	ntier -hw 1/4/1/4 -soft 400-200-200 -wl 7800 -mix rw -measure 120s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	ntier "github.com/softres/ntier"
+)
+
+func main() {
+	var (
+		hwS     = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS   = flag.String("soft", "400-15-6", "soft allocation Wt-At-Ac (Apache workers, Tomcat threads, DB conns)")
+		users   = flag.Int("wl", 6000, "workload (emulated users)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		ramp    = flag.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure = flag.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		mix     = flag.String("mix", "browse", "workload mix: browse or rw")
+		noGC    = flag.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin   = flag.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+		traceN  = flag.Uint64("trace", 0, "sample one request in N for phase tracing (0 = off)")
+		diag    = flag.Bool("diagnose", false, "classify the bottleneck pattern from windowed utilization")
+	)
+	flag.Parse()
+
+	hw, err := ntier.ParseHardware(*hwS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	soft, err := ntier.ParseSoftAlloc(*softS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ntier.RunConfig{
+		Testbed: ntier.TestbedOptions{
+			Hardware:       hw,
+			Soft:           soft,
+			Seed:           *seed,
+			DisableGC:      *noGC,
+			DisableFinWait: *noFin,
+		},
+		Users:   *users,
+		RampUp:  *ramp,
+		Measure: *measure,
+	}
+	cfg.TraceEvery = *traceN
+	cfg.WindowUtil = *diag
+	switch *mix {
+	case "browse":
+		cfg.Mix = ntier.BrowseOnlyMix()
+	case "rw":
+		cfg.Mix = ntier.ReadWriteMix()
+	default:
+		log.Fatalf("unknown mix %q (want browse or rw)", *mix)
+	}
+
+	res, err := ntier.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Describe())
+	fmt.Println()
+
+	tbl := &ntier.Table{
+		Title:   "per-server monitoring",
+		Headers: []string{"server", "cpu", "gc", "pool", "util", "sat", "rtt", "tp", "jobs"},
+	}
+	for _, s := range res.Servers() {
+		pool, util, sat := "-", "-", "-"
+		if len(s.Pools) > 0 {
+			pool = fmt.Sprintf("%d", s.Pools[0].Capacity)
+			util = fmt.Sprintf("%.0f%%", s.Pools[0].Utilization*100)
+			sat = fmt.Sprintf("%.0f%%", s.Pools[0].Saturated*100)
+		}
+		gc := "-"
+		if s.GC.Name != "" {
+			gc = fmt.Sprintf("%.1f%%", s.GC.GCFraction*100)
+		}
+		tbl.AddRow(s.Name,
+			fmt.Sprintf("%.0f%%", s.CPUUtil*100), gc, pool, util, sat,
+			s.RTT.Round(100*time.Microsecond).String(),
+			fmt.Sprintf("%.1f", s.TP),
+			fmt.Sprintf("%.1f", s.Jobs))
+	}
+	fmt.Fprint(os.Stdout, tbl.String())
+
+	if *traceN > 0 && len(res.Traces) > 0 {
+		fmt.Println("\nper-request phase breakdown (sampled traces):")
+		fmt.Print(ntier.FormatBreakdown(ntier.TraceBreakdown(res.Traces)))
+		fmt.Println("\nlast sampled request:")
+		fmt.Print(res.Traces[len(res.Traces)-1].String())
+	}
+	if *diag {
+		fmt.Println()
+		fmt.Print(ntier.ClassifyBottlenecks(res.UtilSeries, ntier.BottleneckConfig{}).String())
+	}
+}

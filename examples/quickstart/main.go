@@ -1,0 +1,54 @@
+// Quickstart: build the paper's 1/2/1/2 topology (one Apache, two Tomcats,
+// one C-JDBC, two MySQLs), run 6000 emulated RUBBoS users against it, and
+// print throughput, goodput per SLA threshold, and where the CPU went.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ntier "github.com/softres/ntier"
+)
+
+func main() {
+	hw, err := ntier.ParseHardware("1/2/1/2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The practitioner's rule-of-thumb allocation: 400 Apache workers, 15
+	// Tomcat threads, 6 DB connections per application server.
+	soft, err := ntier.ParseSoftAlloc("400-15-6")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ntier.Run(ntier.RunConfig{
+		Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: 1},
+		Users:   6000,
+		RampUp:  30 * time.Second,
+		Measure: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Describe())
+	fmt.Println()
+	fmt.Println("Where the CPU went:")
+	for _, s := range res.Servers() {
+		gc := ""
+		if s.GC.Name != "" {
+			gc = fmt.Sprintf("  (%.1f%% garbage collection)", s.GC.GCFraction*100)
+		}
+		fmt.Printf("  %-8s %5.1f%% busy%s\n", s.Name, s.CPUUtil*100, gc)
+	}
+
+	fmt.Println()
+	fmt.Println("Response-time distribution:")
+	h := res.SLA.Histogram()
+	labels := h.Labels()
+	for i, f := range h.Fractions() {
+		fmt.Printf("  %-10s %5.1f%%\n", labels[i], f*100)
+	}
+}

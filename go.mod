@@ -1,0 +1,3 @@
+module github.com/softres/ntier
+
+go 1.22

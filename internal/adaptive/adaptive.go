@@ -1,0 +1,229 @@
+// Package adaptive implements a runtime feedback controller for soft
+// resources — the dynamic counterpart to the paper's offline Algorithm 1
+// (the paper's related work surveys feedback-control approaches and notes
+// that "determining suitable parameters of control is a highly challenging
+// task"; this controller encodes the paper's own findings as the control
+// law).
+//
+// Every control period the controller inspects each application server:
+//
+//   - Soft bottleneck (the §III-A signature): the thread pool is pinned at
+//     capacity with waiters while the CPU idles → grow the pool.
+//   - Over-allocation (the §III-B signature): the CPU is saturated while
+//     the pool's peak occupancy sits far below capacity → shrink toward
+//     the observed need, shedding GC and scheduling overhead.
+//
+// Pools are resized in place (resource.Pool.Resize); no requests are
+// dropped.
+//
+// Limitation (inherent, not incidental): once the system is deeply
+// saturated, an over-allocated pool fills completely with queued jobs, so
+// pool occupancy no longer distinguishes over-allocation from genuine
+// need. The controller therefore shrinks reliably only while the system
+// is near — not far past — the knee. This observability gap is exactly
+// the paper's argument for the offline measurement-driven Algorithm 1
+// (internal/core) over pure feedback control.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/tier"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Interval is the control period (default 5s); SampleEvery the gauge
+	// sampling period within it (default 1s).
+	Interval    time.Duration
+	SampleEvery time.Duration
+
+	// SatHigh is the fraction of samples with the pool full-and-queued
+	// that triggers growth (default 0.5). UtilHigh is the CPU utilization
+	// regarded as saturated (default 0.92).
+	SatHigh  float64
+	UtilHigh float64
+
+	// GrowFactor multiplies the capacity on growth (default 1.5).
+	// ShrinkMargin leaves headroom over the observed peak occupancy when
+	// shrinking (default 1.25). Shrinking triggers only when capacity
+	// exceeds ShrinkTrigger times the peak (default 2).
+	GrowFactor    float64
+	ShrinkMargin  float64
+	ShrinkTrigger float64
+
+	// MinThreads/MaxThreads bound the controlled pool (defaults 2/512).
+	MinThreads int
+	MaxThreads int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = time.Second
+	}
+	if c.SatHigh <= 0 {
+		c.SatHigh = 0.5
+	}
+	if c.UtilHigh <= 0 {
+		c.UtilHigh = 0.92
+	}
+	if c.GrowFactor <= 1 {
+		c.GrowFactor = 1.5
+	}
+	if c.ShrinkMargin <= 1 {
+		c.ShrinkMargin = 1.25
+	}
+	if c.ShrinkTrigger <= 1 {
+		c.ShrinkTrigger = 2
+	}
+	if c.MinThreads <= 0 {
+		c.MinThreads = 2
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 512
+	}
+}
+
+// Decision records one resize action.
+type Decision struct {
+	At     time.Duration
+	Server string
+	From   int
+	To     int
+	Reason string // "soft-bottleneck" or "over-allocation"
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	return fmt.Sprintf("%8v %-9s threads %3d -> %3d (%s)",
+		d.At.Round(time.Millisecond), d.Server, d.From, d.To, d.Reason)
+}
+
+// Controller adapts the Tomcat thread pools of one testbed.
+type Controller struct {
+	cfg       Config
+	tb        *testbed.Testbed
+	windows   []window
+	decisions []Decision
+	stopped   bool
+}
+
+// window accumulates one control period's samples for one server.
+type window struct {
+	samples   int
+	satCount  int
+	peakInUse int
+	busyBase  float64
+	baseValid bool
+}
+
+// Attach starts the controller on the testbed's application tier. It must
+// be called before the simulation runs the period it should govern.
+func Attach(tb *testbed.Testbed, cfg Config) *Controller {
+	cfg.applyDefaults()
+	c := &Controller{cfg: cfg, tb: tb, windows: make([]window, len(tb.Tomcats))}
+	for i := range c.windows {
+		c.windows[i] = window{peakInUse: 0}
+	}
+	c.scheduleSample()
+	c.scheduleControl()
+	return c
+}
+
+// Stop halts future control actions.
+func (c *Controller) Stop() { c.stopped = true }
+
+// Decisions returns the resize actions taken so far.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+func (c *Controller) scheduleSample() {
+	c.tb.Env.After(c.cfg.SampleEvery, func() {
+		if c.stopped {
+			return
+		}
+		for i, tc := range c.tb.Tomcats {
+			w := &c.windows[i]
+			w.samples++
+			inUse := tc.Threads.InUse()
+			if inUse > w.peakInUse {
+				w.peakInUse = inUse
+			}
+			if inUse >= tc.Threads.Capacity() && tc.Threads.Queued() > 0 {
+				w.satCount++
+			}
+		}
+		c.scheduleSample()
+	})
+}
+
+func (c *Controller) scheduleControl() {
+	c.tb.Env.After(c.cfg.Interval, func() {
+		if c.stopped {
+			return
+		}
+		for i, tc := range c.tb.Tomcats {
+			c.control(i, tc)
+		}
+		c.scheduleControl()
+	})
+}
+
+// control applies the law to one server and resets its window.
+func (c *Controller) control(i int, tc *tier.Tomcat) {
+	w := &c.windows[i]
+	defer func() { *w = window{busyBase: c.nodeBusy(tc), baseValid: true} }()
+	if w.samples == 0 {
+		return
+	}
+
+	// Windowed CPU utilization from the busy-integral delta; the first
+	// window after a stats reset is skipped (the integral shrank).
+	util := 0.0
+	busy := c.nodeBusy(tc)
+	if w.baseValid && busy >= w.busyBase {
+		util = (busy - w.busyBase) / c.cfg.Interval.Seconds() / float64(tc.Node.Spec().Cores)
+	} else if w.baseValid {
+		return // monitor reset mid-window: observations unusable
+	}
+
+	cap := tc.Threads.Capacity()
+	satFrac := float64(w.satCount) / float64(w.samples)
+
+	switch {
+	case satFrac >= c.cfg.SatHigh && util < c.cfg.UtilHigh:
+		// Software bottleneck under idle hardware: grow.
+		to := int(float64(cap)*c.cfg.GrowFactor) + 1
+		if to > c.cfg.MaxThreads {
+			to = c.cfg.MaxThreads
+		}
+		if to > cap {
+			tc.Threads.Resize(to)
+			c.decisions = append(c.decisions, Decision{
+				At: c.tb.Env.Now(), Server: tc.Node.Name(),
+				From: cap, To: to, Reason: "soft-bottleneck",
+			})
+		}
+	case util >= c.cfg.UtilHigh && float64(cap) > c.cfg.ShrinkTrigger*float64(w.peakInUse):
+		// Saturated hardware under an over-provisioned pool: shrink
+		// toward the observed need, shedding per-slot overhead.
+		to := int(float64(w.peakInUse)*c.cfg.ShrinkMargin) + 1
+		if to < c.cfg.MinThreads {
+			to = c.cfg.MinThreads
+		}
+		if to < cap {
+			tc.Threads.Resize(to)
+			c.decisions = append(c.decisions, Decision{
+				At: c.tb.Env.Now(), Server: tc.Node.Name(),
+				From: cap, To: to, Reason: "over-allocation",
+			})
+		}
+	}
+}
+
+// nodeBusy reads the node's cumulative busy integral.
+func (c *Controller) nodeBusy(tc *tier.Tomcat) float64 { return tc.Node.BusyIntegral() }

@@ -1,0 +1,146 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// runAdaptive builds a 1/2/1/2 testbed, optionally attaches the
+// controller, runs a workload, and returns measured throughput over the
+// final window plus the controller (nil when disabled).
+func runAdaptive(t *testing.T, threads int, users int, controlled bool) (float64, int, *Controller) {
+	t.Helper()
+	tb, err := testbed.Build(testbed.Options{
+		Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		Soft:     testbed.SoftAlloc{WebThreads: 400, AppThreads: threads, AppConns: 20},
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	var ctl *Controller
+	if controlled {
+		ctl = Attach(tb, Config{})
+	}
+	ccfg := rubbos.DefaultClientConfig(users)
+	ccfg.RampUp = 10 * time.Second
+	var count uint64
+	measureStart := 60 * time.Second // give the controller time to converge
+	if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+		if issued >= measureStart {
+			count++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 100 * time.Second
+	tb.Env.Run(horizon)
+	finalCap := tb.Tomcats[0].Threads.Capacity()
+	return float64(count) / (horizon - measureStart).Seconds(), finalCap, ctl
+}
+
+func TestControllerGrowsOutOfSoftBottleneck(t *testing.T) {
+	staticTP, _, _ := runAdaptive(t, 3, 5000, false)
+	adaptTP, finalCap, ctl := runAdaptive(t, 3, 5000, true)
+	if len(ctl.Decisions()) == 0 {
+		t.Fatal("controller took no action on a severe soft bottleneck")
+	}
+	if ctl.Decisions()[0].Reason != "soft-bottleneck" {
+		t.Errorf("first decision %v, want growth", ctl.Decisions()[0])
+	}
+	if finalCap <= 3 {
+		t.Errorf("final capacity %d, want grown", finalCap)
+	}
+	if adaptTP < staticTP*1.3 {
+		t.Errorf("adaptive TP %.1f not clearly above static TP %.1f", adaptTP, staticTP)
+	}
+}
+
+func TestControllerShrinksOverAllocation(t *testing.T) {
+	_, finalCap, ctl := runAdaptive(t, 300, 6000, true)
+	shrank := false
+	for _, d := range ctl.Decisions() {
+		if d.Reason == "over-allocation" && d.To < d.From {
+			shrank = true
+		}
+	}
+	if !shrank {
+		t.Fatalf("controller never shrank a 300-thread pool at saturation: %v", ctl.Decisions())
+	}
+	if finalCap >= 300 {
+		t.Errorf("final capacity %d, want below the initial 300", finalCap)
+	}
+	if finalCap < 10 {
+		t.Errorf("final capacity %d, dangerously small", finalCap)
+	}
+}
+
+func TestControllerLeavesGoodAllocationAlone(t *testing.T) {
+	// At 4000 users the 20-thread pool has comfortable headroom and the
+	// Tomcat CPUs sit near 70%: neither control trigger may fire.
+	_, finalCap, ctl := runAdaptive(t, 20, 4000, true)
+	if len(ctl.Decisions()) != 0 {
+		t.Errorf("controller acted on a healthy allocation: %v", ctl.Decisions())
+	}
+	if finalCap != 20 {
+		t.Errorf("final capacity %d, want unchanged 20", finalCap)
+	}
+}
+
+func TestControllerStop(t *testing.T) {
+	tb, err := testbed.Build(testbed.Options{
+		Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		Soft:     testbed.SoftAlloc{WebThreads: 400, AppThreads: 2, AppConns: 20},
+		Seed:     29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	ctl := Attach(tb, Config{})
+	ctl.Stop()
+	ccfg := rubbos.DefaultClientConfig(4000)
+	ccfg.RampUp = 5 * time.Second
+	if _, err := tb.StartWorkload(ccfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Env.Run(40 * time.Second)
+	if len(ctl.Decisions()) != 0 {
+		t.Errorf("stopped controller acted: %v", ctl.Decisions())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.applyDefaults()
+	if c.Interval != 5*time.Second || c.SampleEvery != time.Second ||
+		c.SatHigh != 0.5 || c.UtilHigh != 0.92 || c.GrowFactor != 1.5 ||
+		c.ShrinkMargin != 1.25 || c.ShrinkTrigger != 2 ||
+		c.MinThreads != 2 || c.MaxThreads != 512 {
+		t.Errorf("defaults %+v", c)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{At: 5 * time.Second, Server: "tomcat1", From: 3, To: 5, Reason: "soft-bottleneck"}
+	s := d.String()
+	for _, want := range []string{"tomcat1", "3", "5", "soft-bottleneck"} {
+		if !contains(s, want) {
+			t.Errorf("decision string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper's Algorithm 1 assumes a single hardware bottleneck and defers
+// the multi-bottleneck case ("the saturation of hardware resources may
+// oscillate among multiple servers located in different tiers", citing
+// Malkowski et al., IISWC'09) to future work. This file implements that
+// diagnosis over per-window utilization series, so the tuner can at least
+// *identify* the case it cannot solve — and report which servers
+// participate in the oscillation.
+
+// BottleneckKind classifies the saturation pattern of a trial.
+type BottleneckKind int
+
+const (
+	// NoBottleneck: no server saturates in a meaningful share of windows.
+	NoBottleneck BottleneckKind = iota
+	// SingleBottleneck: one server is saturated in most windows.
+	SingleBottleneck
+	// ConcurrentBottleneck: several servers are each saturated in most
+	// windows simultaneously.
+	ConcurrentBottleneck
+	// OscillatoryBottleneck: no server is persistently saturated, yet in
+	// most windows *some* server is — saturation migrates between tiers.
+	OscillatoryBottleneck
+)
+
+// String returns the classification name.
+func (k BottleneckKind) String() string {
+	switch k {
+	case NoBottleneck:
+		return "none"
+	case SingleBottleneck:
+		return "single"
+	case ConcurrentBottleneck:
+		return "concurrent"
+	case OscillatoryBottleneck:
+		return "oscillatory"
+	}
+	return fmt.Sprintf("BottleneckKind(%d)", int(k))
+}
+
+// ServerSaturation summarizes one server's windowed saturation behaviour.
+type ServerSaturation struct {
+	Name        string
+	MeanUtil    float64
+	SatFraction float64 // fraction of windows at or above the threshold
+}
+
+// Diagnosis is the outcome of a multi-bottleneck analysis.
+type Diagnosis struct {
+	Kind    BottleneckKind
+	Windows int
+	// Servers is sorted by descending saturation fraction; only servers
+	// that saturate in at least one window are listed.
+	Servers []ServerSaturation
+	// AnySatFraction is the fraction of windows in which at least one
+	// server was saturated.
+	AnySatFraction float64
+}
+
+// BottleneckConfig tunes the classifier.
+type BottleneckConfig struct {
+	// UtilThreshold marks a window as saturated (default 0.9).
+	UtilThreshold float64
+	// PersistentFraction: a server saturated in at least this share of
+	// windows is a persistent bottleneck (default 0.8).
+	PersistentFraction float64
+	// CombinedFraction: if no server is persistent but some server is
+	// saturated in at least this share of windows, the pattern is
+	// oscillatory (default 0.6).
+	CombinedFraction float64
+}
+
+func (c *BottleneckConfig) applyDefaults() {
+	if c.UtilThreshold <= 0 {
+		c.UtilThreshold = 0.9
+	}
+	if c.PersistentFraction <= 0 {
+		c.PersistentFraction = 0.8
+	}
+	if c.CombinedFraction <= 0 {
+		c.CombinedFraction = 0.6
+	}
+}
+
+// ClassifyBottlenecks analyzes per-window utilization series (one per
+// server, equal lengths expected; shorter series are padded as idle).
+func ClassifyBottlenecks(series map[string][]float64, cfg BottleneckConfig) Diagnosis {
+	cfg.applyDefaults()
+	windows := 0
+	for _, s := range series {
+		if len(s) > windows {
+			windows = len(s)
+		}
+	}
+	d := Diagnosis{Windows: windows}
+	if windows == 0 {
+		return d
+	}
+
+	anySat := make([]bool, windows)
+	for name, s := range series {
+		sat := 0
+		sum := 0.0
+		for i, u := range s {
+			sum += u
+			if u >= cfg.UtilThreshold {
+				sat++
+				anySat[i] = true
+			}
+		}
+		if sat > 0 {
+			d.Servers = append(d.Servers, ServerSaturation{
+				Name:        name,
+				MeanUtil:    sum / float64(len(s)),
+				SatFraction: float64(sat) / float64(windows),
+			})
+		}
+	}
+	sort.Slice(d.Servers, func(i, j int) bool {
+		if d.Servers[i].SatFraction != d.Servers[j].SatFraction {
+			return d.Servers[i].SatFraction > d.Servers[j].SatFraction
+		}
+		return d.Servers[i].Name < d.Servers[j].Name
+	})
+	anyCount := 0
+	for _, b := range anySat {
+		if b {
+			anyCount++
+		}
+	}
+	d.AnySatFraction = float64(anyCount) / float64(windows)
+
+	persistent := 0
+	for _, s := range d.Servers {
+		if s.SatFraction >= cfg.PersistentFraction {
+			persistent++
+		}
+	}
+	switch {
+	case persistent == 1:
+		d.Kind = SingleBottleneck
+	case persistent > 1:
+		d.Kind = ConcurrentBottleneck
+	case d.AnySatFraction >= cfg.CombinedFraction:
+		d.Kind = OscillatoryBottleneck
+	default:
+		d.Kind = NoBottleneck
+	}
+	return d
+}
+
+// String renders the diagnosis.
+func (d Diagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bottleneck pattern: %s (%d windows, some-server-saturated %.0f%%)\n",
+		d.Kind, d.Windows, d.AnySatFraction*100)
+	for _, s := range d.Servers {
+		fmt.Fprintf(&b, "  %-10s mean util %5.1f%%  saturated %5.1f%% of windows\n",
+			s.Name, s.MeanUtil*100, s.SatFraction*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestClassifyNoBottleneck(t *testing.T) {
+	d := ClassifyBottlenecks(map[string][]float64{
+		"a": repeat(0.4, 30),
+		"b": repeat(0.6, 30),
+	}, BottleneckConfig{})
+	if d.Kind != NoBottleneck {
+		t.Errorf("kind %v, want none", d.Kind)
+	}
+	if len(d.Servers) != 0 {
+		t.Errorf("servers %v, want empty", d.Servers)
+	}
+}
+
+func TestClassifySingleBottleneck(t *testing.T) {
+	d := ClassifyBottlenecks(map[string][]float64{
+		"tomcat1": repeat(0.97, 30),
+		"cjdbc1":  repeat(0.60, 30),
+	}, BottleneckConfig{})
+	if d.Kind != SingleBottleneck {
+		t.Fatalf("kind %v, want single", d.Kind)
+	}
+	if d.Servers[0].Name != "tomcat1" {
+		t.Errorf("top server %v", d.Servers[0])
+	}
+	if d.AnySatFraction != 1 {
+		t.Errorf("any-sat fraction %v, want 1", d.AnySatFraction)
+	}
+}
+
+func TestClassifyConcurrentBottleneck(t *testing.T) {
+	d := ClassifyBottlenecks(map[string][]float64{
+		"tomcat1": repeat(0.96, 30),
+		"cjdbc1":  repeat(0.95, 30),
+	}, BottleneckConfig{})
+	if d.Kind != ConcurrentBottleneck {
+		t.Errorf("kind %v, want concurrent", d.Kind)
+	}
+}
+
+func TestClassifyOscillatoryBottleneck(t *testing.T) {
+	// Saturation alternates between two servers: neither is persistent,
+	// but some server is saturated in every window.
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		if i%2 == 0 {
+			a[i], b[i] = 0.97, 0.5
+		} else {
+			a[i], b[i] = 0.5, 0.97
+		}
+	}
+	d := ClassifyBottlenecks(map[string][]float64{"a": a, "b": b}, BottleneckConfig{})
+	if d.Kind != OscillatoryBottleneck {
+		t.Fatalf("kind %v, want oscillatory:\n%s", d.Kind, d)
+	}
+	if d.Servers[0].SatFraction < 0.4 || d.Servers[0].SatFraction > 0.6 {
+		t.Errorf("per-server sat fraction %v, want ~0.5", d.Servers[0].SatFraction)
+	}
+	if !strings.Contains(d.String(), "oscillatory") {
+		t.Errorf("diagnosis string: %s", d)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	d := ClassifyBottlenecks(nil, BottleneckConfig{})
+	if d.Kind != NoBottleneck || d.Windows != 0 {
+		t.Errorf("empty diagnosis %+v", d)
+	}
+}
+
+func TestClassifyThresholdConfig(t *testing.T) {
+	series := map[string][]float64{"x": repeat(0.85, 20)}
+	if d := ClassifyBottlenecks(series, BottleneckConfig{}); d.Kind != NoBottleneck {
+		t.Errorf("0.85 util flagged at default 0.9 threshold: %v", d.Kind)
+	}
+	if d := ClassifyBottlenecks(series, BottleneckConfig{UtilThreshold: 0.8}); d.Kind != SingleBottleneck {
+		t.Errorf("0.85 util not flagged at 0.8 threshold: %v", d.Kind)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[BottleneckKind]string{
+		NoBottleneck: "none", SingleBottleneck: "single",
+		ConcurrentBottleneck: "concurrent", OscillatoryBottleneck: "oscillatory",
+		BottleneckKind(9): "BottleneckKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestDiagnoseRealRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a saturated trial")
+	}
+	// A saturated 1/2/1/2 run must diagnose the Tomcat tier as a single
+	// (or concurrent, both Tomcats saturate together) bottleneck.
+	rc := experiment.RunConfig{
+		Testbed: testbed.Options{
+			Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+			Soft:     testbed.SoftAlloc{WebThreads: 400, AppThreads: 20, AppConns: 20},
+			Seed:     13,
+		},
+		Users:   6400,
+		RampUp:  15 * time.Second,
+		Measure: 30 * time.Second,
+	}
+	d, err := Diagnose(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind == NoBottleneck {
+		t.Fatalf("saturated run diagnosed as none:\n%s", d)
+	}
+	if len(d.Servers) == 0 || !strings.HasPrefix(d.Servers[0].Name, "tomcat") {
+		t.Errorf("top saturated server %v, want a tomcat:\n%s", d.Servers, d)
+	}
+
+	// A light-load run must diagnose none.
+	rc.Users = 1000
+	d, err = Diagnose(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != NoBottleneck {
+		t.Errorf("light load diagnosed as %v:\n%s", d.Kind, d)
+	}
+}

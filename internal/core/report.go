@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// String renders the report as a Table-I style text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Soft-resource allocation report — hardware %s\n", r.Hardware)
+	fmt.Fprintf(&b, "Critical hardware resource : %s %s (%.0f%% at workload %d)\n",
+		r.Critical.Server, r.Critical.Resource, r.Critical.Utilization*100, r.Critical.Workload)
+	fmt.Fprintf(&b, "Saturation workload (WLmin): %d users\n", r.SaturationWL)
+	fmt.Fprintf(&b, "Min concurrent jobs        : %.1f (per critical server)\n", r.MinJobs)
+	fmt.Fprintf(&b, "Req_ratio (queries/request): %.2f\n", r.ReqRatio)
+	if r.Doublings > 0 {
+		fmt.Fprintf(&b, "Soft-saturation doublings  : %d (S_reserve %s)\n", r.Doublings, r.ReservedSoft)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s %8s %10s %12s %10s %12s\n", "tier", "servers", "RTT", "TP/server", "jobs", "recommended")
+	for _, row := range r.Rows {
+		rec := "-"
+		if row.Recommended > 0 {
+			rec = fmt.Sprintf("%d", row.Recommended)
+		}
+		fmt.Fprintf(&b, "%-8s %8d %10s %12.1f %10.2f %12s\n",
+			row.Tier, row.Servers, row.RTT.Round(100*time.Microsecond), row.TP, row.Jobs, rec)
+	}
+	fmt.Fprintf(&b, "\nRecommended allocation (Wt-At-Ac): %s\n", r.Recommended)
+	return b.String()
+}

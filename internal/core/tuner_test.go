@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// tunerConfig returns a fast test configuration for the given hardware.
+func tunerConfig(hw testbed.Hardware, soft testbed.SoftAlloc) Config {
+	return Config{
+		Base: experiment.RunConfig{
+			Testbed: testbed.Options{Hardware: hw, Soft: soft, Seed: 33},
+			RampUp:  15 * time.Second,
+			Measure: 25 * time.Second,
+		},
+		Step:      1000,
+		SmallStep: 500,
+	}
+}
+
+func TestTune1212FindsTomcatCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner runs a full workload ramp")
+	}
+	cfg := tunerConfig(
+		testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 15, AppConns: 20},
+	)
+	rep, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Critical.Tier != "tomcat" {
+		t.Errorf("critical tier %q, want tomcat (paper Table I)", rep.Critical.Tier)
+	}
+	if rep.Critical.Utilization < 0.95 {
+		t.Errorf("critical utilization %.2f, want >= 0.95", rep.Critical.Utilization)
+	}
+	if rep.SaturationWL < 4000 || rep.SaturationWL > 7500 {
+		t.Errorf("saturation workload %d, want near the 1/2/1/2 knee (~5000-6500)", rep.SaturationWL)
+	}
+	// Paper Table I: optimal Tomcat thread pool ~13/server; accept the
+	// band the validation sweep (Fig. 10a) peaks in.
+	if rep.Recommended.AppThreads < 8 || rep.Recommended.AppThreads > 30 {
+		t.Errorf("recommended Tomcat threads %d, want ~10-25", rep.Recommended.AppThreads)
+	}
+	if rep.ReqRatio < 1.8 || rep.ReqRatio > 3.2 {
+		t.Errorf("Req_ratio %.2f out of range", rep.ReqRatio)
+	}
+	if rep.Recommended.WebThreads <= rep.Recommended.AppThreads {
+		t.Errorf("web tier buffer %d should exceed app threads %d",
+			rep.Recommended.WebThreads, rep.Recommended.AppThreads)
+	}
+	out := rep.String()
+	for _, want := range []string{"tomcat", "Recommended allocation", "Req_ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTune1414FindsCJDBCCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner runs a full workload ramp")
+	}
+	cfg := tunerConfig(
+		testbed.Hardware{Web: 1, App: 4, Mid: 1, DB: 4},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 15, AppConns: 20},
+	)
+	rep, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Critical.Tier != "cjdbc" {
+		t.Errorf("critical tier %q, want cjdbc (paper Table I)", rep.Critical.Tier)
+	}
+	if rep.SaturationWL < 5000 || rep.SaturationWL > 9000 {
+		t.Errorf("saturation workload %d, want near the 1/4/1/4 knee (~6000-7500)", rep.SaturationWL)
+	}
+	// Paper Table I: conn pool ~8/server (total 32). Accept a band.
+	if rep.Recommended.AppConns < 3 || rep.Recommended.AppConns > 14 {
+		t.Errorf("recommended conn pool %d/server, want ~4-12", rep.Recommended.AppConns)
+	}
+}
+
+func TestTuneDoublesOnSoftBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner runs a full workload ramp")
+	}
+	// Start with a severely under-allocated thread pool: the algorithm
+	// must detect the software bottleneck and double its way out.
+	cfg := tunerConfig(
+		testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 2, AppConns: 4},
+	)
+	rep, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Doublings == 0 {
+		t.Error("under-allocated start should trigger at least one doubling")
+	}
+	if rep.ReservedSoft.AppThreads <= cfg.Base.Testbed.Soft.AppThreads {
+		t.Errorf("reserved allocation %s not scaled from %s", rep.ReservedSoft, cfg.Base.Testbed.Soft)
+	}
+	if rep.Critical.Tier != "tomcat" {
+		t.Errorf("critical tier %q, want tomcat", rep.Critical.Tier)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.applyDefaults()
+	if c.Step != 1000 || c.SmallStep != 400 || c.HWSaturation != 0.95 ||
+		c.SoftSaturation != 0.5 || c.SLA != 2*time.Second || c.WebBufferFactor != 2 ||
+		c.MaxDoublings != 6 || c.MaxWorkload != 20000 {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestCriticalStatsLookup(t *testing.T) {
+	res := &experiment.Result{
+		Apache: []experiment.ServerStats{{Name: "a"}},
+		Tomcat: []experiment.ServerStats{{Name: "t"}},
+		CJDBC:  []experiment.ServerStats{{Name: "c"}},
+		MySQL:  []experiment.ServerStats{{Name: "m"}},
+	}
+	for tier, want := range map[string]string{"apache": "a", "tomcat": "t", "cjdbc": "c", "mysql": "m"} {
+		ss := criticalStats(res, tier)
+		if len(ss) != 1 || ss[0].Name != want {
+			t.Errorf("criticalStats(%s) = %v", tier, ss)
+		}
+	}
+	if criticalStats(res, "bogus") != nil {
+		t.Error("bogus tier returned stats")
+	}
+}
+
+func TestTuneWriteHeavyFindsDiskCritical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner runs a full workload ramp")
+	}
+	// Under the write-heavy mix the database disk saturates while every
+	// CPU idles — the algorithm must identify a non-CPU critical resource
+	// on the database tier.
+	cfg := tunerConfig(
+		testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 30, AppConns: 20},
+	)
+	cfg.Base.Mix = rubbos.WriteHeavyMix()
+	cfg.Step = 800
+	cfg.SmallStep = 400
+	rep, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Critical.Tier != "mysql" || rep.Critical.Resource != "disk" {
+		t.Fatalf("critical = %s %s, want mysql disk", rep.Critical.Tier, rep.Critical.Resource)
+	}
+	if rep.SaturationWL < 1200 || rep.SaturationWL > 4000 {
+		t.Errorf("saturation workload %d, want near the disk knee (~2000-3000)", rep.SaturationWL)
+	}
+	if rep.Recommended.AppThreads < 1 || rep.Recommended.WebThreads < rep.Recommended.AppThreads {
+		t.Errorf("degenerate recommendation %s", rep.Recommended)
+	}
+}

@@ -1,0 +1,279 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// Simulated processes are ordinary Go functions running in goroutines, but
+// execution is strictly serialized: the scheduler and at most one process run
+// at any instant, handing control back and forth over unbuffered channels.
+// All ties are broken by schedule order, so a simulation with seeded random
+// sources replays identically.
+//
+// Simulated time is a time.Duration measured from the start of the
+// simulation. Events and processes interact only through the Env they were
+// created on.
+package des
+
+import (
+	"fmt"
+	"time"
+)
+
+// Env is a simulation environment: a clock and a pending-event queue.
+// Create one with NewEnv, start processes with Go, then call Run.
+// An Env must not be shared between operating-system threads that run
+// concurrently; all interaction happens from scheduler context (inside a
+// process or an event callback).
+type Env struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // process -> scheduler handoff
+	kill    chan struct{} // closed by Shutdown to unwind parked processes
+	stopped bool
+	procs   int // processes started and not yet finished
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		kill:  make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Pending returns the number of events still queued (including canceled
+// events not yet discarded).
+func (e *Env) Pending() int { return len(e.events) }
+
+// Live returns the number of processes that have been started with Go and
+// have not yet returned.
+func (e *Env) Live() int { return e.procs }
+
+// Event is a handle to a scheduled callback, usable to cancel it.
+type Event struct{ ev *event }
+
+// Cancel prevents the event's callback from running. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (ev Event) Cancel() {
+	if ev.ev != nil {
+		ev.ev.fn = nil
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (ev Event) Canceled() bool { return ev.ev == nil || ev.ev.fn == nil }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// At schedules fn to run at absolute simulated time t. Callbacks run in
+// scheduler context and must not block; to perform blocking operations,
+// start a process with Go instead. Scheduling in the past (t < Now) panics.
+func (e *Env) At(t time.Duration, fn func()) Event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.events.push(ev)
+	return Event{ev}
+}
+
+// After schedules fn to run d from now. A negative d panics.
+func (e *Env) After(d time.Duration, fn func()) Event {
+	return e.At(e.now+d, fn)
+}
+
+// Run processes events in timestamp order until the queue is empty or the
+// next event is later than `until`, then advances the clock to `until`.
+// It returns the number of events processed. Run may be called repeatedly
+// with increasing horizons.
+func (e *Env) Run(until time.Duration) int {
+	if e.stopped {
+		panic("des: Run after Shutdown")
+	}
+	n := 0
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		e.events.pop()
+		if next.fn == nil {
+			continue // canceled
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Shutdown unwinds every parked or not-yet-started process so their
+// goroutines exit. After Shutdown the Env is unusable. It is safe to call
+// once Run has returned; calling it from scheduler context panics.
+func (e *Env) Shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	close(e.kill)
+}
+
+// killed is the sentinel panic value used to unwind process goroutines.
+type killedSentinel struct{}
+
+// Proc is a simulated process: a goroutine whose execution interleaves
+// deterministically with the simulation clock. All Proc methods must be
+// called from the process's own goroutine.
+type Proc struct {
+	env  *Env
+	name string
+	wake chan struct{}
+	data any
+}
+
+// SetData attaches arbitrary user data to the process (e.g. a per-request
+// trace that downstream components append to).
+func (p *Proc) SetData(v any) { p.data = v }
+
+// Data returns the value set with SetData, or nil.
+func (p *Proc) Data() any { return p.data }
+
+// Go starts a new process running fn. The process begins executing at the
+// current simulated time (after the caller yields control). name is used in
+// diagnostics only.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.procs++
+	go func() {
+		select {
+		case <-p.wake:
+		case <-e.kill:
+			e.procs-- // never started; no scheduler waiting on us
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedSentinel); ok {
+					return // unwound by Shutdown; scheduler is not waiting
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+		e.procs--
+		e.yield <- struct{}{}
+	}()
+	e.At(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p and blocks until p yields again.
+func (e *Env) runProc(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// yield returns control to the scheduler and blocks until this process is
+// woken by a scheduled event (or unwound by Shutdown).
+func (p *Proc) yield() {
+	p.env.yield <- struct{}{}
+	select {
+	case <-p.wake:
+	case <-p.env.kill:
+		p.env.procs--
+		panic(killedSentinel{})
+	}
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Name returns the diagnostic name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sleep suspends the process for d of simulated time. Negative d panics.
+func (p *Proc) Sleep(d time.Duration) {
+	p.env.At(p.env.now+d, func() { p.env.runProc(p) })
+	p.yield()
+}
+
+// Park suspends the process until another component calls Unpark on it.
+// Typical use: append p to a wait queue, then Park; the component that
+// grants the resource calls Unpark.
+func (p *Proc) Park() { p.yield() }
+
+// Unpark schedules p to resume at the current simulated time. It must be
+// called from scheduler context (another process or an event callback), and
+// p must be parked — or guaranteed to park before any further simulated
+// event fires — when the wakeup is delivered.
+func (p *Proc) Unpark() {
+	e := p.env
+	e.At(e.now, func() { e.runProc(p) })
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

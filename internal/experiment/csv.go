@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes one curve's full per-workload record — throughput,
+// goodput per threshold, mean/p95 response time, and per-tier CPU — as CSV
+// for external plotting.
+func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "throughput"}
+	for _, th := range thresholds {
+		header = append(header, fmt.Sprintf("goodput_%s", th))
+	}
+	header = append(header, "mean_rt_s", "p95_rt_s",
+		"apache_cpu", "tomcat_cpu", "cjdbc_cpu", "mysql_cpu")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range c.Results {
+		row := []string{
+			strconv.Itoa(c.Users[i]),
+			fmt.Sprintf("%.2f", r.Throughput()),
+		}
+		for _, th := range thresholds {
+			row = append(row, fmt.Sprintf("%.2f", r.Goodput(th)))
+		}
+		row = append(row,
+			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Mean()),
+			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Percentile(95)),
+			fmt.Sprintf("%.4f", TierCPU(r.Apache)),
+			fmt.Sprintf("%.4f", TierCPU(r.Tomcat)),
+			fmt.Sprintf("%.4f", TierCPU(r.CJDBC)),
+			fmt.Sprintf("%.4f", TierCPU(r.MySQL)),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV writes the Fig. 7/8 per-second Apache series as CSV.
+// The result must have been produced with RunConfig.Timeline set.
+func (r *Result) WriteTimelineCSV(w io.Writer) error {
+	if r.Timeline == nil {
+		return fmt.Errorf("experiment: result has no timeline (set RunConfig.Timeline)")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"second", "processed", "pt_total_ms", "pt_connecting_ms", "active_workers", "connecting_workers"}); err != nil {
+		return err
+	}
+	tl := r.Timeline
+	for i := range tl.Processed {
+		act, conn := "", ""
+		if i < len(tl.ActiveRaw) {
+			act = fmt.Sprintf("%.0f", tl.ActiveRaw[i])
+			conn = fmt.Sprintf("%.0f", tl.ConnectRaw[i])
+		}
+		row := []string{
+			strconv.Itoa(i),
+			fmt.Sprintf("%.0f", tl.Processed[i]),
+			fmt.Sprintf("%.2f", tl.PTTotalMS[i]),
+			fmt.Sprintf("%.2f", tl.PTConnectMS[i]),
+			act, conn,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

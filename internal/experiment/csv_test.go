@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/sla"
+)
+
+func TestWriteCSV(t *testing.T) {
+	cfg := baseConfig(0)
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = 15 * time.Second
+	curve, err := WorkloadSweep(cfg, []int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := curve.WriteCSV(&b, sla.StandardThresholds); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("csv has %d rows, want header + 2", len(records))
+	}
+	if records[0][0] != "workload" || records[1][0] != "300" || records[2][0] != "600" {
+		t.Errorf("rows: %v", records)
+	}
+	wantCols := 2 + len(sla.StandardThresholds) + 6
+	if len(records[0]) != wantCols {
+		t.Errorf("csv has %d columns, want %d", len(records[0]), wantCols)
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	cfg := baseConfig(500)
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = 12 * time.Second
+	cfg.Timeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteTimelineCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 10 {
+		t.Fatalf("timeline csv has %d rows", len(records))
+	}
+	if records[0][1] != "processed" {
+		t.Errorf("header %v", records[0])
+	}
+}
+
+func TestWriteTimelineCSVWithoutTimeline(t *testing.T) {
+	cfg := baseConfig(200)
+	cfg.RampUp = 5 * time.Second
+	cfg.Measure = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteTimelineCSV(&b); err == nil {
+		t.Error("missing timeline should error")
+	}
+}
+
+func TestWindowUtilSeries(t *testing.T) {
+	cfg := baseConfig(1200)
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = 20 * time.Second
+	cfg.WindowUtil = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UtilSeries) != 6 {
+		t.Fatalf("util series for %d nodes, want 6", len(res.UtilSeries))
+	}
+	series, ok := res.UtilSeries["tomcat1"]
+	if !ok {
+		t.Fatal("no series for tomcat1")
+	}
+	if len(series) < 15 {
+		t.Fatalf("series has %d windows, want ~20", len(series))
+	}
+	sum := 0.0
+	for _, u := range series {
+		if u < 0 || u > 1 {
+			t.Fatalf("window utilization %v out of range", u)
+		}
+		sum += u
+	}
+	mean := sum / float64(len(series))
+	// The windowed mean must agree with the aggregate utilization.
+	agg := res.Tomcat[0].CPUUtil
+	if diff := mean - agg; diff > 0.08 || diff < -0.08 {
+		t.Errorf("windowed mean %v vs aggregate %v", mean, agg)
+	}
+}

@@ -1,0 +1,339 @@
+// Package experiment runs measured trials against simulated n-tier
+// topologies: single experiments (ramp-up, measured runtime, monitored
+// servers — the paper's 8-minute ramp / 12-minute runtime protocol),
+// workload sweeps, and soft-allocation sweeps, producing the data behind
+// every table and figure of the paper.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/jvm"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/sla"
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// RunConfig describes one experiment trial.
+type RunConfig struct {
+	Testbed testbed.Options
+	Users   int
+
+	// Workload shape; zero values take the paper defaults.
+	Mix         *rubbos.Matrix
+	ThinkMean   time.Duration
+	ClientNodes int
+
+	// Trial protocol. The paper runs 8-minute ramps and 12-minute
+	// runtimes; the defaults are scaled down for fast simulation and can
+	// be raised to paper scale via cmd/ntier-figures -full.
+	RampUp  time.Duration // default 40s
+	Measure time.Duration // default 60s
+
+	// Thresholds for the SLA collector (default sla.StandardThresholds).
+	Thresholds []time.Duration
+
+	// Timeline enables the Fig. 7/8 per-second Apache instrumentation.
+	Timeline bool
+
+	// WindowUtil enables per-second CPU-utilization series for every node
+	// (SysStat-style), feeding the multi-bottleneck diagnosis.
+	WindowUtil bool
+
+	// TraceEvery samples one request in N for per-phase tracing (0 = off);
+	// TraceKeep bounds retained traces (default 16).
+	TraceEvery uint64
+	TraceKeep  int
+}
+
+func (c *RunConfig) applyDefaults() {
+	if c.Mix == nil {
+		c.Mix = rubbos.BrowseOnlyMix()
+	}
+	if c.ThinkMean == 0 {
+		c.ThinkMean = 7 * time.Second
+	}
+	if c.ClientNodes == 0 {
+		c.ClientNodes = 2
+	}
+	if c.RampUp == 0 {
+		c.RampUp = 40 * time.Second
+	}
+	if c.Measure == 0 {
+		c.Measure = 60 * time.Second
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = sla.StandardThresholds
+	}
+}
+
+// ServerStats is the per-server monitoring record of one trial.
+type ServerStats struct {
+	Name     string
+	Tier     string
+	CPUUtil  float64 // total CPU utilization incl. GC
+	DiskUtil float64 // disk busy fraction (database nodes; 0 elsewhere)
+	GC       jvm.Stats
+	Pools    []resource.PoolStats
+
+	// Request-log aggregates (the paper's per-server logging).
+	RTT  time.Duration
+	TP   float64
+	Jobs float64 // Little's-law estimate X*R
+}
+
+// Pool returns the named pool's stats, or nil.
+func (s *ServerStats) Pool(suffix string) *resource.PoolStats {
+	for i := range s.Pools {
+		if len(s.Pools[i].Name) >= len(suffix) &&
+			s.Pools[i].Name[len(s.Pools[i].Name)-len(suffix):] == suffix {
+			return &s.Pools[i]
+		}
+	}
+	return nil
+}
+
+// ApacheTimeline is the Fig. 7/8 per-second view of one web server.
+type ApacheTimeline struct {
+	Processed      []float64 // requests completed per second
+	PTTotalMS      []float64 // mean worker busy time per request (ms)
+	PTConnectMS    []float64 // mean time interacting with Tomcat (ms)
+	ActiveRaw      []float64 // sampled busy workers
+	ConnectRaw     []float64 // sampled workers interacting with Tomcat
+	SampleEverySec float64
+}
+
+// Result is the full outcome of one trial.
+type Result struct {
+	Config RunConfig
+
+	SLA *sla.Collector
+
+	Apache, Tomcat, CJDBC, MySQL []ServerStats
+
+	Timeline *ApacheTimeline // non-nil when RunConfig.Timeline
+
+	// UtilSeries holds per-second CPU utilization per node (incl. GC),
+	// keyed by node name; non-nil when RunConfig.WindowUtil.
+	UtilSeries map[string][]float64
+
+	// Traces holds sampled per-request phase traces when
+	// RunConfig.TraceEvery > 0.
+	Traces []*trace.Trace
+}
+
+// Throughput returns overall requests/s during the measurement window.
+func (r *Result) Throughput() float64 { return r.SLA.Throughput() }
+
+// Goodput returns requests/s within the threshold.
+func (r *Result) Goodput(th time.Duration) float64 { return r.SLA.Goodput(th) }
+
+// MeanRT returns the mean response time over the window.
+func (r *Result) MeanRT() time.Duration {
+	return time.Duration(r.SLA.ResponseTimes().Mean() * float64(time.Second))
+}
+
+// Servers returns all per-server stats in tier order.
+func (r *Result) Servers() []ServerStats {
+	out := make([]ServerStats, 0, len(r.Apache)+len(r.Tomcat)+len(r.CJDBC)+len(r.MySQL))
+	out = append(out, r.Apache...)
+	out = append(out, r.Tomcat...)
+	out = append(out, r.CJDBC...)
+	out = append(out, r.MySQL...)
+	return out
+}
+
+// TierCPU returns the mean CPU utilization across a tier's servers.
+func TierCPU(ss []ServerStats) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range ss {
+		sum += s.CPUUtil
+	}
+	return sum / float64(len(ss))
+}
+
+// Run executes one trial: build the topology, ramp the workload, reset all
+// monitors, measure, and collect.
+func Run(cfg RunConfig) (*Result, error) {
+	cfg.applyDefaults()
+	tb, err := testbed.Build(cfg.Testbed)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	collector := sla.NewCollector(cfg.Thresholds)
+	measureStart := cfg.RampUp
+	horizon := cfg.RampUp + cfg.Measure
+
+	ccfg := rubbos.ClientConfig{
+		Users:       cfg.Users,
+		ClientNodes: cfg.ClientNodes,
+		ThinkMean:   cfg.ThinkMean,
+		RampUp:      cfg.RampUp / 2, // users all active well before measuring
+		Matrix:      cfg.Mix,
+		Seed:        cfg.Testbed.Seed,
+	}
+	var tracer *trace.Tracer
+	if cfg.TraceEvery > 0 {
+		tracer = trace.NewTracer(cfg.TraceEvery, cfg.TraceKeep)
+		ccfg.Tracer = tracer
+	}
+	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+		if issued >= measureStart {
+			collector.Observe(rt)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var sampled *samples
+	if cfg.Timeline {
+		for _, a := range tb.Apaches {
+			a.EnableTimeline(measureStart, time.Second)
+		}
+		sampled = startSampling(tb, measureStart)
+	}
+	var utilWatch *utilSampler
+	if cfg.WindowUtil {
+		utilWatch = startUtilSampling(tb, measureStart)
+	}
+
+	// Ramp up, then reset all monitors so only the runtime window counts.
+	tb.Env.Run(measureStart)
+	tb.ResetStats()
+	tb.Env.Run(horizon)
+
+	collector.SetElapsed(cfg.Measure)
+	res := &Result{Config: cfg, SLA: collector}
+	now := tb.Env.Now()
+
+	for _, a := range tb.Apaches {
+		res.Apache = append(res.Apache, ServerStats{
+			Name: a.Node.Name(), Tier: "apache",
+			CPUUtil: a.Node.Utilization(),
+			Pools:   []resource.PoolStats{a.Workers.Stats()},
+			RTT:     a.Log().MeanRT(), TP: a.Log().Throughput(now), Jobs: a.Log().Jobs(now),
+		})
+	}
+	for _, tc := range tb.Tomcats {
+		res.Tomcat = append(res.Tomcat, ServerStats{
+			Name: tc.Node.Name(), Tier: "tomcat",
+			CPUUtil: tc.Node.Utilization(),
+			GC:      tc.JVM.Stats(),
+			Pools:   []resource.PoolStats{tc.Threads.Stats(), tc.Conns.Stats()},
+			RTT:     tc.Log().MeanRT(), TP: tc.Log().Throughput(now), Jobs: tc.Log().Jobs(now),
+		})
+	}
+	for _, c := range tb.CJDBCs {
+		res.CJDBC = append(res.CJDBC, ServerStats{
+			Name: c.Node.Name(), Tier: "cjdbc",
+			CPUUtil: c.Node.Utilization(),
+			GC:      c.JVM.Stats(),
+			RTT:     c.Log().MeanRT(), TP: c.Log().Throughput(now), Jobs: c.Log().Jobs(now),
+		})
+	}
+	for _, m := range tb.MySQLs {
+		st := ServerStats{
+			Name: m.Node.Name(), Tier: "mysql",
+			CPUUtil: m.Node.Utilization(),
+			RTT:     m.Log().MeanRT(), TP: m.Log().Throughput(now), Jobs: m.Log().Jobs(now),
+		}
+		if d := m.Node.Disk(); d != nil {
+			st.DiskUtil = d.Utilization()
+		}
+		res.MySQL = append(res.MySQL, st)
+	}
+
+	if cfg.Timeline && len(tb.Apaches) > 0 {
+		a := tb.Apaches[0]
+		processed, ptTotal, ptConn := a.Timeline()
+		tl := &ApacheTimeline{SampleEverySec: 1}
+		tl.Processed = processed.Rates()
+		for i := 0; i < ptTotal.Len(); i++ {
+			tl.PTTotalMS = append(tl.PTTotalMS, ptTotal.Mean(i))
+			tl.PTConnectMS = append(tl.PTConnectMS, ptConn.Mean(i))
+		}
+		if sampled != nil {
+			tl.ActiveRaw = sampled.active
+			tl.ConnectRaw = sampled.connecting
+		}
+		res.Timeline = tl
+	}
+	if utilWatch != nil {
+		res.UtilSeries = utilWatch.series
+	}
+	if tracer != nil {
+		res.Traces = tracer.Traces()
+	}
+	return res, nil
+}
+
+// utilSampler diffs each node's busy integral once per second, producing
+// the per-window utilization series of the paper's monitoring methodology.
+type utilSampler struct {
+	series map[string][]float64
+}
+
+func startUtilSampling(tb *testbed.Testbed, start time.Duration) *utilSampler {
+	us := &utilSampler{series: make(map[string][]float64)}
+	nodes := tb.Nodes()
+	prev := make([]float64, len(nodes))
+	var tick func()
+	first := true
+	tick = func() {
+		for i, n := range nodes {
+			busy := n.BusyIntegral()
+			if !first {
+				u := (busy - prev[i]) / float64(n.Spec().Cores)
+				if u > 1 {
+					u = 1
+				}
+				us.series[n.Name()] = append(us.series[n.Name()], u)
+			}
+			prev[i] = busy
+		}
+		first = false
+		tb.Env.After(time.Second, tick)
+	}
+	// The baseline tick must fire after the ramp-end ResetStats (which
+	// zeroes the busy integrals), so offset it by one tie-breaking
+	// nanosecond past the measurement start.
+	tb.Env.At(start+time.Nanosecond, tick)
+	return us
+}
+
+// samples holds per-second gauge readings for the Fig. 7/8 parallelism
+// plots.
+type samples struct {
+	active, connecting []float64
+}
+
+func startSampling(tb *testbed.Testbed, start time.Duration) *samples {
+	s := &samples{}
+	a := tb.Apaches[0]
+	var tick func()
+	tick = func() {
+		s.active = append(s.active, float64(a.Workers.InUse()))
+		s.connecting = append(s.connecting, float64(a.Connecting()))
+		tb.Env.After(time.Second, tick)
+	}
+	tb.Env.At(start, tick)
+	return s
+}
+
+// Describe summarizes a result in one line (used by the CLIs).
+func (r *Result) Describe() string {
+	return fmt.Sprintf("%s %s N=%d: TP %.1f req/s, goodput(2s) %.1f, goodput(1s) %.1f, goodput(0.5s) %.1f, mean RT %s",
+		r.Config.Testbed.Hardware, r.Config.Testbed.Soft, r.Config.Users,
+		r.Throughput(),
+		r.Goodput(2*time.Second), r.Goodput(time.Second), r.Goodput(500*time.Millisecond),
+		r.MeanRT().Round(time.Millisecond))
+}

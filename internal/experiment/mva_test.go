@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/queuing"
+)
+
+// stationsFromResult derives per-station demands from a measured trial via
+// the utilization law — the standard MVA parameterization.
+func stationsFromResult(t *testing.T, res *Result) []queuing.Station {
+	t.Helper()
+	var names []string
+	var utils []float64
+	for _, s := range res.Servers() {
+		names = append(names, s.Name)
+		utils = append(utils, s.CPUUtil)
+	}
+	st, err := queuing.DemandsFromMeasurement(names, utils, res.Throughput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMVAPredictsSimulator cross-validates the analytic solver against the
+// simulator: parameterize MVA from one light-load measurement, then
+// predict throughput at a heavier (still unsaturated) load and at the
+// knee. Below saturation the two must agree closely; the analytic knee
+// must fall near the simulator's measured knee.
+func TestMVAPredictsSimulator(t *testing.T) {
+	base := baseConfig(0)
+	base.Testbed.Soft.AppThreads = 30 // ample soft resources: MVA's world
+	base.Testbed.Soft.AppConns = 20
+	base.RampUp = 15 * time.Second
+	base.Measure = 30 * time.Second
+
+	light := base
+	light.Users = 2000
+	lres, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations := stationsFromResult(t, lres)
+
+	// Predict a 2x heavier load analytically and check the simulator.
+	heavy := base
+	heavy.Users = 4000
+	hres, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	think := 7 * time.Second
+	pred, err := queuing.MVA(stations, think, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(pred.Throughput-hres.Throughput()) / hres.Throughput()
+	if relErr > 0.10 {
+		t.Errorf("MVA predicted X=%.1f, simulator measured %.1f (%.1f%% off)",
+			pred.Throughput, hres.Throughput(), relErr*100)
+	}
+
+	// The analytic bottleneck must be the Tomcat tier and the knee must
+	// land near the simulator's (~5600-6200 users on 1/2/1/2).
+	bi := queuing.BottleneckStation(stations)
+	if name := stations[bi].Name; name != "tomcat1" && name != "tomcat2" {
+		t.Errorf("analytic bottleneck %q, want a tomcat", name)
+	}
+	knee := queuing.SaturationKnee(stations, think)
+	if knee < 4800 || knee > 7200 {
+		t.Errorf("analytic knee at %.0f users, want ~5600-6200", knee)
+	}
+}
+
+// TestMVADivergesAtSoftBottleneck documents what MVA cannot see: with a
+// tiny thread pool the simulator throttles far below the analytic
+// prediction — the paper's core point that hardware-only models miss soft
+// resources.
+func TestMVADivergesAtSoftBottleneck(t *testing.T) {
+	base := baseConfig(0)
+	base.RampUp = 15 * time.Second
+	base.Measure = 25 * time.Second
+
+	light := base
+	light.Users = 1500
+	lres, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations := stationsFromResult(t, lres)
+	pred, err := queuing.MVA(stations, 7*time.Second, 5600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	throttled := base
+	throttled.Users = 5600
+	throttled.Testbed.Soft.AppThreads = 2 // severe soft bottleneck
+	tres, err := Run(throttled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Throughput() > pred.Throughput*0.75 {
+		t.Errorf("soft bottleneck: simulator %.1f vs MVA %.1f — expected the simulator far below",
+			tres.Throughput(), pred.Throughput)
+	}
+}

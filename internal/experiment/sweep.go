@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// Curve is one goodput-vs-workload series (one line of a paper figure).
+type Curve struct {
+	Label   string
+	Users   []int
+	Results []*Result
+}
+
+// WorkloadSweep runs base at each user count and returns the curve.
+func WorkloadSweep(base RunConfig, users []int) (*Curve, error) {
+	c := &Curve{
+		Label: fmt.Sprintf("%s(%s)", base.Testbed.Hardware, base.Testbed.Soft),
+		Users: append([]int(nil), users...),
+	}
+	for _, n := range users {
+		cfg := base
+		cfg.Users = n
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: workload %d: %w", n, err)
+		}
+		c.Results = append(c.Results, res)
+	}
+	return c, nil
+}
+
+// Goodputs returns the series of goodput values at the threshold.
+func (c *Curve) Goodputs(th time.Duration) []float64 {
+	out := make([]float64, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = r.Goodput(th)
+	}
+	return out
+}
+
+// Throughputs returns the overall-throughput series.
+func (c *Curve) Throughputs() []float64 {
+	out := make([]float64, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = r.Throughput()
+	}
+	return out
+}
+
+// MaxThroughput returns the highest overall throughput across the sweep —
+// the paper's Fig. 10 "max TP" metric.
+func (c *Curve) MaxThroughput() float64 {
+	best := 0.0
+	for _, r := range c.Results {
+		if tp := r.Throughput(); tp > best {
+			best = tp
+		}
+	}
+	return best
+}
+
+// MaxGoodput returns the highest goodput at the threshold across the sweep.
+func (c *Curve) MaxGoodput(th time.Duration) float64 {
+	best := 0.0
+	for _, r := range c.Results {
+		if g := r.Goodput(th); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// AllocPoint is one (soft allocation, workload-sweep result) pair of a
+// pool-size study.
+type AllocPoint struct {
+	Soft  testbed.SoftAlloc
+	Curve *Curve
+}
+
+// AllocSweep runs a workload sweep for every soft allocation produced by
+// vary(i) over sizes, e.g. varying the Tomcat thread pool for Fig. 4 /
+// Fig. 10(a) or the DB connection pool for Fig. 5 / Fig. 10(b).
+func AllocSweep(base RunConfig, users []int, sizes []int, vary func(testbed.SoftAlloc, int) testbed.SoftAlloc) ([]AllocPoint, error) {
+	var out []AllocPoint
+	for _, size := range sizes {
+		cfg := base
+		cfg.Testbed.Soft = vary(base.Testbed.Soft, size)
+		curve, err := WorkloadSweep(cfg, users)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AllocPoint{Soft: cfg.Testbed.Soft, Curve: curve})
+	}
+	return out, nil
+}
+
+// VaryAppThreads returns s with the Tomcat thread pool set to size.
+func VaryAppThreads(s testbed.SoftAlloc, size int) testbed.SoftAlloc {
+	s.AppThreads = size
+	return s
+}
+
+// VaryAppConns returns s with the Tomcat DB connection pool set to size.
+func VaryAppConns(s testbed.SoftAlloc, size int) testbed.SoftAlloc {
+	s.AppConns = size
+	return s
+}
+
+// VaryWebThreads returns s with the Apache worker pool set to size.
+func VaryWebThreads(s testbed.SoftAlloc, size int) testbed.SoftAlloc {
+	s.WebThreads = size
+	return s
+}
+
+// Table renders rows of figure data as a fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CurveTable renders several curves' goodput at one threshold against the
+// shared workload axis — the textual form of a paper figure.
+func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {
+	t := &Table{Title: title, Headers: []string{"workload"}}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Label)
+	}
+	if len(curves) == 0 {
+		return t
+	}
+	for i, n := range curves[0].Users {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range curves {
+			if i < len(c.Results) {
+				row = append(row, fmt.Sprintf("%.1f", c.Results[i].Goodput(th)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

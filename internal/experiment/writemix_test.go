@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/rubbos"
+)
+
+func TestBrowseMixLeavesDiskIdle(t *testing.T) {
+	cfg := baseConfig(1200)
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = 15 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.MySQL {
+		if m.DiskUtil != 0 {
+			t.Errorf("%s disk utilization %v under browse-only mix, want 0", m.Name, m.DiskUtil)
+		}
+	}
+}
+
+func TestReadWriteMixTouchesDisk(t *testing.T) {
+	cfg := baseConfig(1500)
+	cfg.Mix = rubbos.ReadWriteMix()
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = 20 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MySQL[0].DiskUtil <= 0 {
+		t.Error("read/write mix should produce disk traffic")
+	}
+	if res.MySQL[0].DiskUtil > 0.5 {
+		t.Errorf("disk utilization %v at moderate load, want modest", res.MySQL[0].DiskUtil)
+	}
+}
+
+func TestWriteHeavyMixSaturatesDisk(t *testing.T) {
+	cfg := baseConfig(3000)
+	cfg.Testbed.Soft.AppThreads = 30
+	cfg.Testbed.Soft.AppConns = 20
+	cfg.Mix = rubbos.WriteHeavyMix()
+	cfg.RampUp = 15 * time.Second
+	cfg.Measure = 25 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MySQL[0].DiskUtil < 0.9 {
+		t.Errorf("disk utilization %v under write-heavy mix at 3000 users, want >= 0.9", res.MySQL[0].DiskUtil)
+	}
+	// The disk, not any CPU, is the bottleneck.
+	for _, s := range res.Servers() {
+		if s.CPUUtil > 0.9 {
+			t.Errorf("%s CPU %v saturated; the disk should be the only bottleneck", s.Name, s.CPUUtil)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package hw
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/resource"
+)
+
+// Disk models a single mechanical disk (the paper's nodes carry 10k-rpm
+// SCSI drives) as an FCFS device: one transfer at a time, queued arrivals
+// served in order. The browsing mix is cache-resident and never touches
+// it; write interactions pay a synchronous commit here.
+type Disk struct {
+	env   *des.Env
+	queue *resource.Pool
+}
+
+// NewDisk creates a disk device.
+func NewDisk(env *des.Env, name string) *Disk {
+	return &Disk{env: env, queue: resource.NewPool(env, name, 1)}
+}
+
+// Use performs one synchronous transfer of the given service time,
+// queueing FCFS behind other transfers.
+func (d *Disk) Use(p *des.Proc, service time.Duration) {
+	if service <= 0 {
+		return
+	}
+	d.queue.Acquire(p)
+	p.Sleep(service)
+	d.queue.Release()
+}
+
+// Utilization returns the fraction of time the disk was busy since the
+// last reset.
+func (d *Disk) Utilization() float64 { return d.queue.Stats().Utilization }
+
+// Queued returns the number of transfers waiting.
+func (d *Disk) Queued() int { return d.queue.Queued() }
+
+// ResetStats starts a new measurement interval.
+func (d *Disk) ResetStats() { d.queue.ResetStats() }
+
+// AttachDisk adds a disk to the node (idempotent) and returns it.
+func (n *Node) AttachDisk() *Disk {
+	if n.disk == nil {
+		n.disk = NewDisk(n.env, n.name+"/disk")
+	}
+	return n.disk
+}
+
+// Disk returns the node's disk, or nil if none was attached.
+func (n *Node) Disk() *Disk { return n.disk }

@@ -1,0 +1,89 @@
+package hw
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+func TestDiskFCFS(t *testing.T) {
+	env := des.NewEnv()
+	d := NewDisk(env, "disk")
+	var done []time.Duration
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *des.Proc) {
+			d.Use(p, 10*time.Millisecond)
+			done = append(done, p.Now())
+		})
+	}
+	env.Run(time.Second)
+	// One at a time: completions at 10, 20, 30ms.
+	want := []time.Duration{10, 20, 30}
+	if len(done) != 3 {
+		t.Fatalf("%d transfers completed", len(done))
+	}
+	for i, w := range want {
+		if done[i] != w*time.Millisecond {
+			t.Errorf("transfer %d done at %v, want %v", i, done[i], w*time.Millisecond)
+		}
+	}
+	env.Shutdown()
+}
+
+func TestDiskUtilization(t *testing.T) {
+	env := des.NewEnv()
+	d := NewDisk(env, "disk")
+	env.Go("w", func(p *des.Proc) {
+		d.Use(p, 2*time.Second)
+	})
+	env.Run(10 * time.Second)
+	if u := d.Utilization(); u < 0.199 || u > 0.201 {
+		t.Errorf("utilization %v, want 0.2", u)
+	}
+	env.Shutdown()
+}
+
+func TestDiskZeroServiceFree(t *testing.T) {
+	env := des.NewEnv()
+	d := NewDisk(env, "disk")
+	var done time.Duration
+	env.Go("w", func(p *des.Proc) {
+		d.Use(p, 0)
+		done = p.Now()
+	})
+	env.Run(time.Second)
+	if done != 0 {
+		t.Errorf("zero-service transfer took %v", done)
+	}
+	env.Shutdown()
+}
+
+func TestAttachDiskIdempotent(t *testing.T) {
+	env := des.NewEnv()
+	n := NewNode(env, "mysql1", PC3000())
+	if n.Disk() != nil {
+		t.Fatal("disk present before attach")
+	}
+	d1 := n.AttachDisk()
+	d2 := n.AttachDisk()
+	if d1 != d2 {
+		t.Error("AttachDisk not idempotent")
+	}
+	if n.Disk() != d1 {
+		t.Error("Disk() accessor mismatch")
+	}
+}
+
+func TestNodeResetResetsDisk(t *testing.T) {
+	env := des.NewEnv()
+	n := NewNode(env, "mysql1", PC3000())
+	d := n.AttachDisk()
+	env.Go("w", func(p *des.Proc) { d.Use(p, time.Second) })
+	env.Run(2 * time.Second)
+	n.ResetStats()
+	env.Run(4 * time.Second)
+	if u := d.Utilization(); u != 0 {
+		t.Errorf("disk utilization %v after reset with no traffic, want 0", u)
+	}
+}

@@ -1,0 +1,106 @@
+// Package hw models hardware nodes: a CPU plus the bookkeeping needed to
+// report total utilization the way the paper's SysStat monitoring does —
+// application work and JVM garbage collection both show up as busy CPU.
+package hw
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/resource"
+)
+
+// Spec describes a node model, mirroring the paper's Fig. 1(b) hardware
+// table (Emulab PC3000: 3 GHz 64-bit Xeon, 2 GB RAM, 1 Gbps NIC).
+type Spec struct {
+	Name      string
+	Cores     int
+	MemoryMiB int
+}
+
+// PC3000 is the node type every server in the paper runs on.
+func PC3000() Spec { return Spec{Name: "PC3000", Cores: 1, MemoryMiB: 2048} }
+
+// Node is one physical machine hosting exactly one server (the paper
+// allocates a dedicated node per server).
+type Node struct {
+	env  *des.Env
+	name string
+	spec Spec
+	cpu  *resource.CPU
+
+	// overheads are cumulative busy-second integrals from co-resident
+	// overhead sources (JVM GC); they add to CPU utilization.
+	overheads []func() float64
+
+	statsStart time.Duration
+	baseBusy   float64 // busy integrals at the last stats reset
+
+	disk *Disk // optional, attached via AttachDisk
+}
+
+// NewNode creates a node with a CPU of the spec's core count.
+func NewNode(env *des.Env, name string, spec Spec) *Node {
+	return &Node{
+		env:  env,
+		name: name,
+		spec: spec,
+		cpu:  resource.NewCPU(env, name+"/cpu", spec.Cores),
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Spec returns the hardware description.
+func (n *Node) Spec() Spec { return n.spec }
+
+// CPU returns the node's processor.
+func (n *Node) CPU() *resource.CPU { return n.cpu }
+
+// AddOverhead registers a cumulative busy-seconds integral (e.g. a JVM's
+// GC time) that counts toward the node's CPU utilization.
+func (n *Node) AddOverhead(integral func() float64) {
+	n.overheads = append(n.overheads, integral)
+}
+
+// BusyIntegral returns total busy core-seconds: useful work plus overheads.
+// Window samplers diff successive readings for per-second utilization.
+func (n *Node) BusyIntegral() float64 {
+	total := n.cpu.BusyIntegral()
+	for _, f := range n.overheads {
+		total += f()
+	}
+	return total
+}
+
+// ResetStats starts a fresh measurement interval (excluding ramp-up).
+func (n *Node) ResetStats() {
+	n.cpu.ResetStats()
+	if n.disk != nil {
+		n.disk.ResetStats()
+	}
+	n.statsStart = n.env.Now()
+	n.baseBusy = 0
+	for _, f := range n.overheads {
+		n.baseBusy += f()
+	}
+}
+
+// Utilization returns mean total CPU utilization (capped at 1) since the
+// last reset.
+func (n *Node) Utilization() float64 {
+	elapsed := (n.env.Now() - n.statsStart).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	over := -n.baseBusy
+	for _, f := range n.overheads {
+		over += f()
+	}
+	u := n.cpu.Stats().Utilization + over/elapsed/float64(n.spec.Cores)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Count() != 8 {
+		t.Errorf("count %d, want 8", a.Count())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v, want 5", a.Mean())
+	}
+	if math.Abs(a.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("std %v, want %v", a.Std(), math.Sqrt(32.0/7.0))
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.Count() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+func TestQuickAccumulatorMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		varSum := 0.0
+		for _, x := range clean {
+			varSum += (x - mean) * (x - mean)
+		}
+		v := varSum / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(a.Mean()-mean)/scale < 1e-9 &&
+			math.Abs(a.Var()-v)/math.Max(1, v) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {95, 95.05},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleFractionBelow(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{0.1, 0.5, 1.0, 2.0, 3.0} {
+		s.Add(x)
+	}
+	if got := s.FractionBelow(1.0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("FractionBelow(1.0) = %v, want 0.6 (inclusive)", got)
+	}
+	if got := s.FractionBelow(0.05); got != 0 {
+		t.Errorf("FractionBelow(0.05) = %v, want 0", got)
+	}
+	if got := s.FractionBelow(10); got != 1 {
+		t.Errorf("FractionBelow(10) = %v, want 1", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.FractionBelow(1) != 0 {
+		t.Error("empty sample should return zeros")
+	}
+}
+
+func TestSampleAddAfterQueryResorts(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("min after late add = %v, want 1", got)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(xs []float64, p8 uint8) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		p := float64(p8) / 255 * 100
+		got := s.Percentile(p)
+		return got >= lo && got <= hi
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.2, 0.4, 1.0})
+	for _, x := range []float64{0.1, 0.2, 0.3, 0.9, 1.5, 2.0} {
+		h.Add(x)
+	}
+	want := []uint64{1, 2, 1, 2} // [0,.2) [.2,.4) [.4,1) >=1
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[3]-2.0/6.0) > 1e-12 {
+		t.Errorf("overflow fraction %v, want 1/3", fr[3])
+	}
+	labels := h.Labels()
+	if labels[0] != "[0,0.2)" || labels[3] != ">=1" {
+		t.Errorf("labels %v", labels)
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestWindowsBucketing(t *testing.T) {
+	w := NewWindows(10*time.Second, time.Second)
+	w.Observe(9*time.Second, 1) // before start: dropped
+	w.Observe(10*time.Second, 2)
+	w.Observe(10500*time.Millisecond, 3)
+	w.Observe(12*time.Second, 4)
+	if w.Count(0) != 2 || w.Sum(0) != 5 {
+		t.Errorf("window 0: count %d sum %v, want 2/5", w.Count(0), w.Sum(0))
+	}
+	if w.Count(1) != 0 {
+		t.Errorf("window 1 count %d, want 0", w.Count(1))
+	}
+	if w.Count(2) != 1 || w.Mean(2) != 4 {
+		t.Errorf("window 2: count %d mean %v, want 1/4", w.Count(2), w.Mean(2))
+	}
+	rates := w.Rates()
+	if rates[0] != 2 || rates[2] != 1 {
+		t.Errorf("rates %v", rates)
+	}
+}
+
+func TestSamplerPollsGauges(t *testing.T) {
+	env := des.NewEnv()
+	s := NewSampler(env, time.Second)
+	val := 0.0
+	s.Register("g", func() float64 { val++; return val })
+	s.Start()
+	env.Run(5500 * time.Millisecond)
+	series := s.Series("g")
+	if series.Count() != 5 {
+		t.Fatalf("sampled %d times in 5.5s, want 5", series.Count())
+	}
+	if series.Percentile(100) != 5 {
+		t.Errorf("last sample %v, want 5", series.Percentile(100))
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	env := des.NewEnv()
+	s := NewSampler(env, time.Second)
+	s.Register("g", func() float64 { return 1 })
+	s.Start()
+	env.Run(2500 * time.Millisecond)
+	s.Stop()
+	env.Run(10 * time.Second)
+	if got := s.Series("g").Count(); got != 2 {
+		t.Errorf("samples after stop %d, want 2", got)
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	env := des.NewEnv()
+	s := NewSampler(env, time.Second)
+	s.Register("g", func() float64 { return 1 })
+	s.Start()
+	env.Run(3500 * time.Millisecond)
+	s.Reset()
+	env.Run(5500 * time.Millisecond)
+	if got := s.Series("g").Count(); got != 2 {
+		t.Errorf("samples after reset %d, want 2", got)
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	h := NewHistogram([]float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0})
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64() * 3)
+	}
+	sum := 0.0
+	for _, f := range h.Fractions() {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum %v, want 1", sum)
+	}
+}
+
+func TestSamplePercentileMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var s Sample
+	vals := make([]float64, 999)
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+		s.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	if got := s.Percentile(0); got != vals[0] {
+		t.Errorf("P0 = %v, want %v", got, vals[0])
+	}
+	if got := s.Percentile(100); got != vals[len(vals)-1] {
+		t.Errorf("P100 = %v, want %v", got, vals[len(vals)-1])
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		e := NewP2Quantile(p)
+		var s Sample
+		for i := 0; i < 50000; i++ {
+			x := r.Float64()
+			e.Add(x)
+			s.Add(x)
+		}
+		exact := s.Percentile(p * 100)
+		got := e.Value()
+		if math.Abs(got-exact) > 0.01 {
+			t.Errorf("p=%v: P2 %v vs exact %v", p, got, exact)
+		}
+	}
+}
+
+func TestP2AgainstExactExponential(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	e := NewP2Quantile(0.95)
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		x := r.ExpFloat64() * 0.3 // response-time-like scale
+		e.Add(x)
+		s.Add(x)
+	}
+	exact := s.Percentile(95)
+	got := e.Value()
+	if math.Abs(got-exact)/exact > 0.05 {
+		t.Errorf("P95 %v vs exact %v (>5%% off)", got, exact)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 3 {
+		t.Errorf("small-sample median %v, want 3", got)
+	}
+	if e.Count() != 3 {
+		t.Errorf("count %d", e.Count())
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2MonotoneMarkers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	e := NewP2Quantile(0.9)
+	for i := 0; i < 20000; i++ {
+		e.Add(r.NormFloat64())
+	}
+	for i := 0; i < 4; i++ {
+		if e.q[i] > e.q[i+1] {
+			t.Fatalf("markers out of order: %v", e.q)
+		}
+	}
+}
+
+// Property: the estimate always lies within the observed range.
+func TestQuickP2WithinRange(t *testing.T) {
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16%2000) + 6
+		r := rand.New(rand.NewSource(seed))
+		e := NewP2Quantile(0.9)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64() * 100
+			e.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v := e.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

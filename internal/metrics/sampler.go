@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+// Sampler polls registered gauges at a fixed simulated-time interval and
+// records each reading as a separate series — the simulation's equivalent of
+// SysStat sampling hardware counters once per second.
+type Sampler struct {
+	env      *des.Env
+	interval time.Duration
+	gauges   []gauge
+	series   map[string]*Sample
+	running  bool
+	stop     bool
+}
+
+type gauge struct {
+	name string
+	fn   func() float64
+}
+
+// NewSampler creates a sampler with the given polling interval.
+func NewSampler(env *des.Env, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		panic("metrics: non-positive sampler interval")
+	}
+	return &Sampler{
+		env:      env,
+		interval: interval,
+		series:   make(map[string]*Sample),
+	}
+}
+
+// Register adds a gauge polled on every tick. Must be called before Start.
+func (s *Sampler) Register(name string, fn func() float64) {
+	s.gauges = append(s.gauges, gauge{name, fn})
+	if s.series[name] == nil {
+		s.series[name] = &Sample{}
+	}
+}
+
+// Start begins polling. The first tick fires one interval from now.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stop = false
+	s.schedule()
+}
+
+func (s *Sampler) schedule() {
+	s.env.After(s.interval, func() {
+		if s.stop {
+			s.running = false
+			return
+		}
+		for _, g := range s.gauges {
+			s.series[g.name].Add(g.fn())
+		}
+		s.schedule()
+	})
+}
+
+// Stop ends polling after the current tick.
+func (s *Sampler) Stop() { s.stop = true }
+
+// Series returns the samples recorded for name, or nil if never registered.
+func (s *Sampler) Series(name string) *Sample { return s.series[name] }
+
+// Reset discards all recorded samples but keeps registrations.
+func (s *Sampler) Reset() {
+	for name := range s.series {
+		s.series[name] = &Sample{}
+	}
+}

@@ -1,0 +1,107 @@
+// Package netsim models the network effects the paper's measurements hinge
+// on: tier-to-tier LAN latency and — crucially for the Fig. 6–8 buffering
+// effect — the TCP connection-close behaviour between the Apache server and
+// the load-generating client nodes.
+//
+// In the paper's testbed, an Apache worker performs a "lingering close"
+// after writing the response: it stays busy until the client's FIN arrives.
+// Under high workload the client nodes fall behind and FIN replies develop a
+// heavy tail, parking hundreds of workers in close-wait and starving the
+// back-end tiers. We reproduce that with an explicit FIN-delay distribution
+// whose tail mass grows with the per-client-node load (a documented
+// substitution for modelling the clients' full TCP stacks).
+package netsim
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/rng"
+)
+
+// Link is a fixed-latency network hop between two tiers (1 Gbps LAN in the
+// paper: latency dominates, bandwidth never binds at these request sizes).
+type Link struct {
+	Latency time.Duration
+}
+
+// Traverse delays the calling process by one hop.
+func (l Link) Traverse(p *des.Proc) {
+	if l.Latency > 0 {
+		p.Sleep(l.Latency)
+	}
+}
+
+// FinConfig parameterizes the client FIN-reply delay model.
+type FinConfig struct {
+	// BaseMean is the mean FIN delay when client nodes are unloaded
+	// (exponential).
+	BaseMean time.Duration
+	// Knee is the per-client-node user count beyond which the tail grows.
+	Knee float64
+	// TailProbMax bounds the fraction of closes that hit the slow tail.
+	TailProbMax float64
+	// TailSlope converts relative overload ((users/node - knee)/knee) into
+	// tail probability.
+	TailSlope float64
+	// TailMin and TailMax bound the slow-tail delay (uniform).
+	TailMin, TailMax time.Duration
+}
+
+// DefaultFinConfig returns the calibration used for the paper topology: two
+// client nodes, tails appearing as the emulated-user count passes ~3000 per
+// node.
+func DefaultFinConfig() FinConfig {
+	return FinConfig{
+		BaseMean:    2 * time.Millisecond,
+		Knee:        3000,
+		TailProbMax: 0.8,
+		TailSlope:   2.0,
+		TailMin:     300 * time.Millisecond,
+		TailMax:     1200 * time.Millisecond,
+	}
+}
+
+// FinModel samples lingering-close delays.
+type FinModel struct {
+	cfg FinConfig
+	r   *rng.Rand
+	// usersPerNode is the current emulated-user load per client node.
+	usersPerNode float64
+}
+
+// NewFinModel creates a FIN-delay model with its own random stream.
+func NewFinModel(cfg FinConfig, r *rng.Rand) *FinModel {
+	return &FinModel{cfg: cfg, r: r}
+}
+
+// SetLoad records the emulated-user count per client node; the tail
+// probability follows it.
+func (f *FinModel) SetLoad(usersPerNode float64) { f.usersPerNode = usersPerNode }
+
+// TailProb returns the probability that a close waits for the slow tail at
+// the current load.
+func (f *FinModel) TailProb() float64 {
+	if f.cfg.Knee <= 0 || f.usersPerNode <= f.cfg.Knee {
+		return 0
+	}
+	p := f.cfg.TailSlope * (f.usersPerNode - f.cfg.Knee) / f.cfg.Knee
+	if p > f.cfg.TailProbMax {
+		p = f.cfg.TailProbMax
+	}
+	return p
+}
+
+// Sample draws one FIN-reply delay.
+func (f *FinModel) Sample() time.Duration {
+	if f.r.Bool(f.TailProb()) {
+		return time.Duration(f.r.Uniform(float64(f.cfg.TailMin), float64(f.cfg.TailMax)))
+	}
+	return time.Duration(f.r.Exp(float64(f.cfg.BaseMean)))
+}
+
+// Disabled reports whether the model is a no-op (zero config), used by the
+// ablation benchmarks.
+func (f *FinModel) Disabled() bool {
+	return f.cfg.BaseMean == 0 && f.cfg.TailProbMax == 0
+}

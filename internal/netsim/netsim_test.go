@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/rng"
+)
+
+func TestLinkTraverse(t *testing.T) {
+	env := des.NewEnv()
+	l := Link{Latency: 200 * time.Microsecond}
+	var done time.Duration
+	env.Go("hop", func(p *des.Proc) {
+		l.Traverse(p)
+		done = p.Now()
+	})
+	env.Run(time.Second)
+	if done != 200*time.Microsecond {
+		t.Errorf("traverse took %v, want 200µs", done)
+	}
+	env.Shutdown()
+}
+
+func TestZeroLatencyLinkIsFree(t *testing.T) {
+	env := des.NewEnv()
+	var done time.Duration
+	env.Go("hop", func(p *des.Proc) {
+		Link{}.Traverse(p)
+		done = p.Now()
+	})
+	env.Run(time.Second)
+	if done != 0 {
+		t.Errorf("zero-latency traverse took %v", done)
+	}
+	env.Shutdown()
+}
+
+func TestFinTailProbBelowKnee(t *testing.T) {
+	f := NewFinModel(DefaultFinConfig(), rng.New(1))
+	f.SetLoad(1000)
+	if p := f.TailProb(); p != 0 {
+		t.Errorf("tail prob %v below knee, want 0", p)
+	}
+}
+
+func TestFinTailProbGrowsWithLoad(t *testing.T) {
+	f := NewFinModel(DefaultFinConfig(), rng.New(1))
+	f.SetLoad(3300)
+	low := f.TailProb()
+	f.SetLoad(3700)
+	high := f.TailProb()
+	if low <= 0 {
+		t.Errorf("tail prob %v just above knee, want > 0", low)
+	}
+	if high <= low {
+		t.Errorf("tail prob should grow with load: %v vs %v", low, high)
+	}
+}
+
+func TestFinTailProbCapped(t *testing.T) {
+	cfg := DefaultFinConfig()
+	f := NewFinModel(cfg, rng.New(1))
+	f.SetLoad(1e9)
+	if p := f.TailProb(); p != cfg.TailProbMax {
+		t.Errorf("tail prob %v at extreme load, want cap %v", p, cfg.TailProbMax)
+	}
+}
+
+func TestFinSampleDistributionShift(t *testing.T) {
+	cfg := DefaultFinConfig()
+	mean := func(load float64) time.Duration {
+		f := NewFinModel(cfg, rng.New(42))
+		f.SetLoad(load)
+		var total time.Duration
+		n := 20000
+		for i := 0; i < n; i++ {
+			total += f.Sample()
+		}
+		return total / time.Duration(n)
+	}
+	low := mean(2000)
+	high := mean(3700)
+	if low > 4*time.Millisecond {
+		t.Errorf("mean FIN delay %v at low load, want ~2ms", low)
+	}
+	if high < 10*low {
+		t.Errorf("mean FIN delay should blow up past the knee: %v vs %v", low, high)
+	}
+}
+
+func TestFinSampleBounds(t *testing.T) {
+	cfg := DefaultFinConfig()
+	f := NewFinModel(cfg, rng.New(7))
+	f.SetLoad(5000)
+	for i := 0; i < 10000; i++ {
+		d := f.Sample()
+		if d < 0 {
+			t.Fatalf("negative FIN delay %v", d)
+		}
+		if d > cfg.TailMax {
+			t.Fatalf("FIN delay %v beyond TailMax %v", d, cfg.TailMax)
+		}
+	}
+}
+
+func TestFinDisabled(t *testing.T) {
+	f := NewFinModel(FinConfig{}, rng.New(1))
+	if !f.Disabled() {
+		t.Error("zero config should report disabled")
+	}
+	f.SetLoad(1e9)
+	if d := f.Sample(); d != 0 {
+		t.Errorf("disabled model sampled %v, want 0", d)
+	}
+	if NewFinModel(DefaultFinConfig(), rng.New(1)).Disabled() {
+		t.Error("default config should not report disabled")
+	}
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+func TestSharedLinkTransferTime(t *testing.T) {
+	env := des.NewEnv()
+	l := NewSharedLink(env, "lan", 100, 0) // 100 Mbps
+	// 125 KB = 1.024 Mbit -> 10.24 ms at 100 Mbps.
+	want := 10240 * time.Microsecond
+	if got := l.TransferTime(125); got != want {
+		t.Errorf("transfer time %v, want %v", got, want)
+	}
+}
+
+func TestSharedLinkUncontended(t *testing.T) {
+	env := des.NewEnv()
+	l := NewSharedLink(env, "lan", 100, time.Millisecond)
+	var done time.Duration
+	env.Go("tx", func(p *des.Proc) {
+		l.Transfer(p, 125)
+		done = p.Now()
+	})
+	env.Run(time.Second)
+	want := time.Millisecond + 10240*time.Microsecond
+	if done != want {
+		t.Errorf("uncontended transfer done at %v, want %v", done, want)
+	}
+	env.Shutdown()
+}
+
+func TestSharedLinkContentionStretches(t *testing.T) {
+	env := des.NewEnv()
+	l := NewSharedLink(env, "lan", 100, 0)
+	var times []time.Duration
+	for i := 0; i < 2; i++ {
+		env.Go("tx", func(p *des.Proc) {
+			l.Transfer(p, 125)
+			times = append(times, p.Now())
+		})
+	}
+	env.Run(time.Second)
+	// Two equal transfers sharing the line finish together at 2x.
+	want := 2 * 10240 * time.Microsecond
+	for _, d := range times {
+		if diff := d - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("contended transfer done at %v, want ~%v", d, want)
+		}
+	}
+	env.Shutdown()
+}
+
+func TestSharedLinkUtilization(t *testing.T) {
+	env := des.NewEnv()
+	l := NewSharedLink(env, "lan", 8, 0) // 8 Mbps: 1 KB = 1.024 ms
+	env.Go("tx", func(p *des.Proc) {
+		l.Transfer(p, 1000) // ~1.024 s of line time
+	})
+	env.Run(10 * time.Second)
+	if u := l.Utilization(); math.Abs(u-0.1024) > 1e-6 {
+		t.Errorf("utilization %v, want 0.1024", u)
+	}
+	if l.BytesMoved() != 1000*1024 {
+		t.Errorf("bytes moved %v", l.BytesMoved())
+	}
+	l.ResetStats()
+	if l.BytesMoved() != 0 {
+		t.Error("reset did not clear byte counter")
+	}
+	env.Shutdown()
+}
+
+func TestSharedLinkZeroSize(t *testing.T) {
+	env := des.NewEnv()
+	l := NewSharedLink(env, "lan", 100, 0)
+	var done time.Duration
+	env.Go("tx", func(p *des.Proc) {
+		l.Transfer(p, 0)
+		done = p.Now()
+	})
+	env.Run(time.Second)
+	if done != 0 {
+		t.Errorf("zero-size transfer took %v", done)
+	}
+	env.Shutdown()
+}
+
+func TestSharedLinkInvalidCapacityPanics(t *testing.T) {
+	env := des.NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity link did not panic")
+		}
+	}()
+	NewSharedLink(env, "bad", 0, 0)
+}

@@ -1,0 +1,137 @@
+package queuing
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Station is one queueing station of a closed product-form network: a
+// single-server FIFO/PS station with the given total service demand per
+// request (visit ratio folded in).
+type Station struct {
+	Name   string
+	Demand time.Duration // D_k = V_k * S_k
+}
+
+// MVAResult is the analytic solution of the closed network at one
+// population.
+type MVAResult struct {
+	N          int
+	Throughput float64       // X(N), requests/s
+	Response   time.Duration // R(N), total residence excluding think time
+	Queue      []float64     // mean jobs per station
+	Util       []float64     // utilization per station
+}
+
+// MVA solves a closed interactive queueing network by exact Mean Value
+// Analysis: N customers, think time Z (a delay station), and the given
+// single-server stations. It models the n-tier system analytically — the
+// approach the paper's related work contrasts with measurement — and is
+// useful for capacity planning and for cross-validating the simulator
+// below saturation (where soft-resource limits and GC do not yet bind;
+// MVA knows nothing about those).
+func MVA(stations []Station, think time.Duration, n int) (MVAResult, error) {
+	if n < 0 {
+		return MVAResult{}, fmt.Errorf("queuing: negative population %d", n)
+	}
+	for _, s := range stations {
+		if s.Demand < 0 {
+			return MVAResult{}, fmt.Errorf("queuing: station %q has negative demand", s.Name)
+		}
+	}
+	k := len(stations)
+	q := make([]float64, k) // Q_k at the previous population
+	res := MVAResult{N: n, Queue: make([]float64, k), Util: make([]float64, k)}
+	for pop := 1; pop <= n; pop++ {
+		// Residence per station with one more customer in the network.
+		var total float64 // seconds
+		r := make([]float64, k)
+		for i, s := range stations {
+			r[i] = s.Demand.Seconds() * (1 + q[i])
+			total += r[i]
+		}
+		x := float64(pop) / (think.Seconds() + total)
+		for i := range stations {
+			q[i] = x * r[i]
+		}
+		if pop == n {
+			res.Throughput = x
+			res.Response = time.Duration(total * float64(time.Second))
+			copy(res.Queue, q)
+			for i, s := range stations {
+				res.Util[i] = x * s.Demand.Seconds()
+			}
+		}
+	}
+	if n == 0 {
+		res.Response = 0
+	}
+	return res, nil
+}
+
+// MVASweep solves the network at each population, returning one result per
+// entry of ns.
+func MVASweep(stations []Station, think time.Duration, ns []int) ([]MVAResult, error) {
+	out := make([]MVAResult, 0, len(ns))
+	for _, n := range ns {
+		r, err := MVA(stations, think, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BottleneckStation returns the index of the station with the largest
+// demand — the analytic bottleneck — or -1 for an empty network.
+func BottleneckStation(stations []Station) int {
+	best, idx := time.Duration(-1), -1
+	for i, s := range stations {
+		if s.Demand > best {
+			best, idx = s.Demand, i
+		}
+	}
+	return idx
+}
+
+// DemandsFromMeasurement derives per-station service demands from one
+// measured operating point via the utilization law (D_k = U_k / X) — the
+// standard way to parameterize MVA from monitoring data.
+func DemandsFromMeasurement(names []string, utils []float64, x float64) ([]Station, error) {
+	if len(names) != len(utils) {
+		return nil, fmt.Errorf("queuing: %d names vs %d utilizations", len(names), len(utils))
+	}
+	if x <= 0 {
+		return nil, fmt.Errorf("queuing: non-positive throughput %v", x)
+	}
+	out := make([]Station, len(names))
+	for i := range names {
+		if utils[i] < 0 || utils[i] > 1 {
+			return nil, fmt.Errorf("queuing: utilization %v out of [0,1]", utils[i])
+		}
+		out[i] = Station{
+			Name:   names[i],
+			Demand: time.Duration(utils[i] / x * float64(time.Second)),
+		}
+	}
+	return out, nil
+}
+
+// SaturationKnee returns the analytic saturation population
+// N* = (Z + R0)/Dmax for the network (R0 = zero-load response = sum of
+// demands), or +Inf with no positive demand.
+func SaturationKnee(stations []Station, think time.Duration) float64 {
+	var r0, dmax time.Duration
+	for _, s := range stations {
+		r0 += s.Demand
+		if s.Demand > dmax {
+			dmax = s.Demand
+		}
+	}
+	if dmax <= 0 {
+		return math.Inf(1)
+	}
+	return (think + r0).Seconds() / dmax.Seconds()
+}

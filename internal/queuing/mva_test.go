@@ -1,0 +1,157 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMVASingleStationAsymptotes(t *testing.T) {
+	st := []Station{{Name: "cpu", Demand: 10 * time.Millisecond}}
+	z := time.Second
+
+	// Light load: X ≈ N/(Z + D), R ≈ D.
+	r1, err := MVA(st, z, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := 1 / (z + 10*time.Millisecond).Seconds()
+	if math.Abs(r1.Throughput-wantX) > 1e-9 {
+		t.Errorf("X(1) = %v, want %v", r1.Throughput, wantX)
+	}
+	if r1.Response != 10*time.Millisecond {
+		t.Errorf("R(1) = %v, want 10ms", r1.Response)
+	}
+
+	// Heavy load: X -> 1/Dmax = 100.
+	r500, err := MVA(st, z, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r500.Throughput < 99 || r500.Throughput > 100 {
+		t.Errorf("X(500) = %v, want ~100 (demand bound)", r500.Throughput)
+	}
+	if r500.Util[0] < 0.99 || r500.Util[0] > 1 {
+		t.Errorf("U(500) = %v, want ~1", r500.Util[0])
+	}
+}
+
+func TestMVAThroughputMonotone(t *testing.T) {
+	st := []Station{
+		{Name: "a", Demand: 3 * time.Millisecond},
+		{Name: "b", Demand: 5 * time.Millisecond},
+		{Name: "c", Demand: 2 * time.Millisecond},
+	}
+	prev := 0.0
+	for n := 1; n <= 400; n *= 2 {
+		r, err := MVA(st, 500*time.Millisecond, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput < prev-1e-9 {
+			t.Fatalf("X(%d) = %v decreased from %v", n, r.Throughput, prev)
+		}
+		prev = r.Throughput
+		// Sanity: X <= 1/Dmax and Little's law over the whole network.
+		if r.Throughput > 1/0.005+1e-9 {
+			t.Fatalf("X(%d) = %v exceeds demand bound 200", n, r.Throughput)
+		}
+		jobs := 0.0
+		for _, q := range r.Queue {
+			jobs += q
+		}
+		thinking := r.Throughput * 0.5
+		if math.Abs(jobs+thinking-float64(n)) > 1e-6 {
+			t.Errorf("N(%d): stations %v + thinking %v != %d", n, jobs, thinking, n)
+		}
+	}
+}
+
+func TestMVAZeroPopulation(t *testing.T) {
+	r, err := MVA([]Station{{Name: "a", Demand: time.Millisecond}}, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput != 0 || r.Response != 0 {
+		t.Errorf("empty network result %+v", r)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	if _, err := MVA(nil, time.Second, -1); err == nil {
+		t.Error("negative population accepted")
+	}
+	if _, err := MVA([]Station{{Demand: -time.Second}}, time.Second, 1); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestMVASweep(t *testing.T) {
+	st := []Station{{Name: "a", Demand: 2 * time.Millisecond}}
+	rs, err := MVASweep(st, time.Second, []int{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[0].N != 10 || rs[2].N != 1000 {
+		t.Errorf("sweep results %v", rs)
+	}
+}
+
+func TestBottleneckStation(t *testing.T) {
+	st := []Station{
+		{Name: "a", Demand: 3 * time.Millisecond},
+		{Name: "b", Demand: 5 * time.Millisecond},
+		{Name: "c", Demand: 2 * time.Millisecond},
+	}
+	if got := BottleneckStation(st); got != 1 {
+		t.Errorf("bottleneck %d, want 1", got)
+	}
+	if got := BottleneckStation(nil); got != -1 {
+		t.Errorf("empty network bottleneck %d, want -1", got)
+	}
+}
+
+func TestDemandsFromMeasurement(t *testing.T) {
+	st, err := DemandsFromMeasurement([]string{"a", "b"}, []float64{0.8, 0.4}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[0].Demand != 2*time.Millisecond || st[1].Demand != time.Millisecond {
+		t.Errorf("demands %v", st)
+	}
+	if _, err := DemandsFromMeasurement([]string{"a"}, []float64{0.5, 0.5}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := DemandsFromMeasurement([]string{"a"}, []float64{0.5}, 0); err == nil {
+		t.Error("zero throughput accepted")
+	}
+	if _, err := DemandsFromMeasurement([]string{"a"}, []float64{1.5}, 1); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}
+
+func TestSaturationKnee(t *testing.T) {
+	st := []Station{{Name: "a", Demand: 2 * time.Millisecond}, {Name: "b", Demand: time.Millisecond}}
+	// N* = (1s + 3ms)/2ms ≈ 501.5.
+	if got := SaturationKnee(st, time.Second); math.Abs(got-501.5) > 1e-9 {
+		t.Errorf("N* = %v, want 501.5", got)
+	}
+	if !math.IsInf(SaturationKnee(nil, time.Second), 1) {
+		t.Error("empty network knee should be +Inf")
+	}
+}
+
+// The MVA knee prediction should agree with the closed-form bound.
+func TestMVAKneeConsistent(t *testing.T) {
+	st := []Station{{Name: "cpu", Demand: 2500 * time.Microsecond}}
+	z := 7 * time.Second
+	knee := SaturationKnee(st, z) // ~2801
+	below, _ := MVA(st, z, int(knee*0.8))
+	above, _ := MVA(st, z, int(knee*1.5))
+	if below.Util[0] > 0.9 {
+		t.Errorf("well below the knee utilization %v", below.Util[0])
+	}
+	if above.Util[0] < 0.97 {
+		t.Errorf("well above the knee utilization %v", above.Util[0])
+	}
+}

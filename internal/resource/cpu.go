@@ -1,0 +1,249 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+// CPU models a multi-core processor under processor sharing (PS): all active
+// jobs progress simultaneously, each at rate speed*min(1, cores/n). PS is
+// implemented in virtual time so every state change costs O(log n).
+//
+// The speed factor supports stop-the-world pauses (JVM garbage collection):
+// at speed 0 no job progresses and the virtual clock freezes. Time spent
+// stalled is charged separately so node-level utilization can attribute it.
+type CPU struct {
+	env   *des.Env
+	name  string
+	cores int
+	speed float64
+
+	vnow       float64 // per-job attained service, in seconds of work
+	lastUpdate time.Duration
+	jobs       jobHeap
+	completion des.Event
+	haveEvent  bool
+
+	statsStart   time.Duration
+	busyIntegral float64       // core-seconds of useful work delivered
+	stallBusy    time.Duration // wall time with jobs present but speed == 0
+	jobsDone     uint64
+	workDone     float64 // seconds of service completed
+}
+
+type cpuJob struct {
+	finishV float64
+	proc    *des.Proc
+	index   int
+}
+
+// NewCPU creates a processor with the given core count, running at full
+// speed. Cores must be positive.
+func NewCPU(env *des.Env, name string, cores int) *CPU {
+	if cores <= 0 {
+		panic(fmt.Sprintf("resource: cpu %q with %d cores", name, cores))
+	}
+	return &CPU{env: env, name: name, cores: cores, speed: 1}
+}
+
+// Name returns the CPU's diagnostic name.
+func (c *CPU) Name() string { return c.name }
+
+// Cores returns the configured core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Active returns the number of jobs currently on the CPU.
+func (c *CPU) Active() int { return len(c.jobs) }
+
+// Speed returns the current speed factor.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// rate returns the per-job progress rate in seconds of work per second.
+func (c *CPU) rate() float64 {
+	n := len(c.jobs)
+	if n == 0 || c.speed == 0 {
+		return 0
+	}
+	share := 1.0
+	if n > c.cores {
+		share = float64(c.cores) / float64(n)
+	}
+	return c.speed * share
+}
+
+// update advances the virtual clock and busy-time integrals to now.
+func (c *CPU) update() {
+	now := c.env.Now()
+	dt := (now - c.lastUpdate).Seconds()
+	if dt > 0 {
+		n := len(c.jobs)
+		if n > 0 {
+			if r := c.rate(); r > 0 {
+				c.vnow += dt * r
+				c.busyIntegral += dt * r * float64(n) // = dt*speed*min(n,cores)
+			} else {
+				c.stallBusy += now - c.lastUpdate
+			}
+		}
+	}
+	c.lastUpdate = now
+}
+
+const vEps = 1e-12
+
+// reschedule (re)arms the completion event for the earliest-finishing job.
+func (c *CPU) reschedule() {
+	if c.haveEvent {
+		c.completion.Cancel()
+		c.haveEvent = false
+	}
+	if len(c.jobs) == 0 {
+		return
+	}
+	r := c.rate()
+	if r == 0 {
+		return // frozen; SetSpeed will re-arm
+	}
+	remain := c.jobs[0].finishV - c.vnow
+	if remain < 0 {
+		remain = 0
+	}
+	// Ceil to a whole nanosecond so the event never fires early.
+	dt := time.Duration(math.Ceil(remain / r * 1e9))
+	c.completion = c.env.After(dt, c.complete)
+	c.haveEvent = true
+}
+
+// complete finishes every job whose service requirement is met.
+func (c *CPU) complete() {
+	c.haveEvent = false
+	c.update()
+	for len(c.jobs) > 0 && c.jobs[0].finishV <= c.vnow+vEps {
+		job := c.jobs.pop()
+		c.jobsDone++
+		job.proc.Unpark()
+	}
+	c.reschedule()
+}
+
+// Use runs `work` seconds of service for the calling process under PS,
+// blocking until it completes. Zero or negative work returns immediately.
+func (c *CPU) Use(p *des.Proc, work time.Duration) {
+	if work <= 0 {
+		return
+	}
+	c.update()
+	w := work.Seconds()
+	job := &cpuJob{finishV: c.vnow + w, proc: p}
+	c.jobs.push(job)
+	c.workDone += w // counted on admission; conserved because jobs always finish
+	c.reschedule()
+	p.Park()
+}
+
+// SetSpeed changes the speed factor (0 freezes all jobs — a stop-the-world
+// pause; 1 is full speed). Negative speeds panic.
+func (c *CPU) SetSpeed(s float64) {
+	if s < 0 {
+		panic("resource: negative CPU speed")
+	}
+	c.update()
+	c.speed = s
+	c.reschedule()
+}
+
+// ResetStats discards accumulated statistics and starts a new interval.
+func (c *CPU) ResetStats() {
+	c.update()
+	c.statsStart = c.env.Now()
+	c.busyIntegral = 0
+	c.stallBusy = 0
+	c.jobsDone = 0
+	c.workDone = 0
+}
+
+// CPUStats is a snapshot of a CPU's accumulated statistics.
+type CPUStats struct {
+	Name        string
+	Cores       int
+	Utilization float64 // useful work delivered / capacity
+	Stalled     float64 // fraction of wall time frozen with jobs present
+	JobsDone    uint64
+}
+
+// Stats integrates to now and returns a snapshot. Utilization counts only
+// useful work; callers add externally-tracked overheads (e.g. GC) on top.
+func (c *CPU) Stats() CPUStats {
+	c.update()
+	elapsed := (c.env.Now() - c.statsStart).Seconds()
+	s := CPUStats{Name: c.name, Cores: c.cores, JobsDone: c.jobsDone}
+	if elapsed > 0 {
+		s.Utilization = c.busyIntegral / elapsed / float64(c.cores)
+		s.Stalled = c.stallBusy.Seconds() / elapsed
+	}
+	return s
+}
+
+// BusyIntegral returns accumulated core-seconds of useful work; window
+// samplers diff successive readings.
+func (c *CPU) BusyIntegral() float64 {
+	c.update()
+	return c.busyIntegral
+}
+
+// jobHeap is a binary min-heap of jobs ordered by finish virtual time.
+type jobHeap []*cpuJob
+
+func (h *jobHeap) push(j *cpuJob) {
+	*h = append(*h, j)
+	i := len(*h) - 1
+	j.index = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[i].finishV >= (*h)[parent].finishV {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *jobHeap) pop() *cpuJob {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[0].index = 0
+	old[last] = nil
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h jobHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h jobHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h[right].finishV < h[left].finishV {
+			smallest = right
+		}
+		if h[smallest].finishV >= h[i].finishV {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

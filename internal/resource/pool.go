@@ -1,0 +1,223 @@
+// Package resource provides the resource models the n-tier simulator is
+// built from: blocking FIFO pools (the paper's "soft resources" — thread
+// pools and connection pools) and a processor-sharing CPU (the hardware
+// resource whose saturation the paper's algorithm hunts for).
+package resource
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+// Pool is a counted resource with FIFO blocking acquisition, modeling a
+// thread pool or a connection pool. A unit must be released exactly once per
+// successful acquisition.
+//
+// The pool records the statistics the paper's methodology needs: average
+// utilization, time-at-occupancy (for utilization-density graphs), the
+// fraction of time the pool was saturated (all units busy with waiters
+// queued — the soft-resource analogue of 100% hardware utilization), and
+// waiting-time statistics.
+type Pool struct {
+	env      *des.Env
+	name     string
+	capacity int
+
+	inUse   int
+	waiters []*des.Proc
+
+	lastChange   time.Duration
+	statsStart   time.Duration
+	busyIntegral float64         // unit-seconds of occupancy
+	occTime      []time.Duration // time spent at each occupancy level
+	satTime      time.Duration   // time with inUse == capacity and waiters queued
+	fullTime     time.Duration   // time with inUse == capacity
+
+	grants    uint64
+	waited    uint64
+	totalWait time.Duration
+	maxQueue  int
+}
+
+// NewPool creates a pool of `capacity` units. Capacity must be positive.
+func NewPool(env *des.Env, name string, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("resource: pool %q with capacity %d", name, capacity))
+	}
+	return &Pool{
+		env:      env,
+		name:     name,
+		capacity: capacity,
+		occTime:  make([]time.Duration, capacity+1),
+	}
+}
+
+// Name returns the pool's diagnostic name.
+func (pl *Pool) Name() string { return pl.name }
+
+// Capacity returns the configured number of units.
+func (pl *Pool) Capacity() int { return pl.capacity }
+
+// InUse returns the number of units currently held.
+func (pl *Pool) InUse() int { return pl.inUse }
+
+// Queued returns the number of processes waiting for a unit.
+func (pl *Pool) Queued() int { return len(pl.waiters) }
+
+// account integrates occupancy state up to the current time.
+func (pl *Pool) account() {
+	now := pl.env.Now()
+	dt := now - pl.lastChange
+	if dt > 0 {
+		pl.busyIntegral += float64(pl.inUse) * dt.Seconds()
+		pl.occTime[pl.inUse] += dt
+		if pl.inUse >= pl.capacity { // >= covers over-full states after a shrink
+			pl.fullTime += dt
+			if len(pl.waiters) > 0 {
+				pl.satTime += dt
+			}
+		}
+	}
+	pl.lastChange = now
+}
+
+// Acquire obtains one unit, blocking the calling process in FIFO order until
+// one is available. It returns the time spent waiting.
+func (pl *Pool) Acquire(p *des.Proc) time.Duration {
+	if pl.TryAcquire() {
+		return 0
+	}
+	start := pl.env.Now()
+	pl.account()
+	pl.waiters = append(pl.waiters, p)
+	if len(pl.waiters) > pl.maxQueue {
+		pl.maxQueue = len(pl.waiters)
+	}
+	p.Park()
+	// The releaser transferred ownership of a unit to us before Unpark;
+	// inUse has already been kept at its level on our behalf.
+	w := pl.env.Now() - start
+	pl.waited++
+	pl.totalWait += w
+	pl.grants++
+	return w
+}
+
+// TryAcquire obtains a unit without blocking, returning false if none is
+// free or other processes are already queued (FIFO fairness).
+func (pl *Pool) TryAcquire() bool {
+	if pl.inUse >= pl.capacity || len(pl.waiters) > 0 {
+		return false
+	}
+	pl.account()
+	pl.inUse++
+	pl.grants++
+	return true
+}
+
+// Release returns one unit to the pool, handing it directly to the oldest
+// waiter if any. It panics if no unit is held.
+func (pl *Pool) Release() {
+	if pl.inUse <= 0 {
+		panic(fmt.Sprintf("resource: pool %q released with none in use", pl.name))
+	}
+	pl.account()
+	if len(pl.waiters) > 0 && pl.inUse <= pl.capacity {
+		// Transfer the unit: occupancy stays constant, waiter resumes.
+		w := pl.waiters[0]
+		copy(pl.waiters, pl.waiters[1:])
+		pl.waiters = pl.waiters[:len(pl.waiters)-1]
+		w.Unpark()
+		return
+	}
+	// No waiter, or the pool is draining toward a smaller capacity.
+	pl.inUse--
+}
+
+// Resize changes the pool's capacity at runtime — the primitive behind
+// dynamic soft-resource adaptation. Growing the pool admits queued waiters
+// immediately; shrinking it below the current occupancy lets the excess
+// drain as units are released (no unit is revoked mid-use). Statistics for
+// occupancy levels above the new capacity are retained. Capacity must stay
+// positive.
+func (pl *Pool) Resize(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("resource: pool %q resized to %d", pl.name, capacity))
+	}
+	pl.account()
+	pl.capacity = capacity
+	for len(pl.occTime) <= capacity {
+		pl.occTime = append(pl.occTime, 0)
+	}
+	// Admit waiters into newly available units.
+	for len(pl.waiters) > 0 && pl.inUse < pl.capacity {
+		w := pl.waiters[0]
+		copy(pl.waiters, pl.waiters[1:])
+		pl.waiters = pl.waiters[:len(pl.waiters)-1]
+		pl.inUse++
+		w.Unpark()
+	}
+}
+
+// ResetStats discards accumulated statistics, starting a fresh measurement
+// interval at the current time (used to exclude ramp-up).
+func (pl *Pool) ResetStats() {
+	pl.account()
+	pl.statsStart = pl.env.Now()
+	pl.busyIntegral = 0
+	for i := range pl.occTime {
+		pl.occTime[i] = 0
+	}
+	pl.satTime = 0
+	pl.fullTime = 0
+	pl.grants = 0
+	pl.waited = 0
+	pl.totalWait = 0
+	pl.maxQueue = len(pl.waiters)
+}
+
+// PoolStats is a snapshot of a pool's accumulated statistics.
+type PoolStats struct {
+	Name        string
+	Capacity    int
+	Utilization float64         // mean in-use fraction over the interval
+	Full        float64         // fraction of time all units were busy
+	Saturated   float64         // fraction of time full AND waiters queued
+	Grants      uint64          // successful acquisitions
+	Waited      uint64          // acquisitions that had to queue
+	MeanWait    time.Duration   // mean wait over all grants
+	MaxQueue    int             // deepest wait queue observed
+	OccTime     []time.Duration // time spent at occupancy 0..Capacity
+}
+
+// Stats integrates up to now and returns a snapshot.
+func (pl *Pool) Stats() PoolStats {
+	pl.account()
+	elapsed := (pl.env.Now() - pl.statsStart).Seconds()
+	s := PoolStats{
+		Name:     pl.name,
+		Capacity: pl.capacity,
+		Grants:   pl.grants,
+		Waited:   pl.waited,
+		MaxQueue: pl.maxQueue,
+		OccTime:  append([]time.Duration(nil), pl.occTime...),
+	}
+	if elapsed > 0 {
+		s.Utilization = pl.busyIntegral / elapsed / float64(pl.capacity)
+		s.Full = pl.fullTime.Seconds() / elapsed
+		s.Saturated = pl.satTime.Seconds() / elapsed
+	}
+	if pl.grants > 0 {
+		s.MeanWait = time.Duration(int64(pl.totalWait) / int64(pl.grants))
+	}
+	return s
+}
+
+// BusyIntegral returns accumulated unit-seconds of occupancy; window
+// samplers diff successive readings to compute per-window utilization.
+func (pl *Pool) BusyIntegral() float64 {
+	pl.account()
+	return pl.busyIntegral
+}

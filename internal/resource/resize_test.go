@@ -1,0 +1,127 @@
+package resource
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+func TestResizeGrowAdmitsWaiters(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 1)
+	var grantTimes []time.Duration
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *des.Proc) {
+			pl.Acquire(p)
+			grantTimes = append(grantTimes, p.Now())
+			p.Sleep(10 * time.Second)
+			pl.Release()
+		})
+	}
+	env.At(2*time.Second, func() { pl.Resize(3) })
+	env.Run(time.Minute)
+	if len(grantTimes) != 3 {
+		t.Fatalf("granted %d, want 3", len(grantTimes))
+	}
+	// First grant immediately; the two queued waiters admitted at resize.
+	if grantTimes[0] != 0 || grantTimes[1] != 2*time.Second || grantTimes[2] != 2*time.Second {
+		t.Errorf("grant times %v", grantTimes)
+	}
+	env.Shutdown()
+}
+
+func TestResizeShrinkDrains(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 3)
+	released := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("w", func(p *des.Proc) {
+			pl.Acquire(p)
+			p.Sleep(time.Duration(i+1) * time.Second)
+			pl.Release()
+			released++
+		})
+	}
+	env.At(500*time.Millisecond, func() {
+		pl.Resize(1)
+		if pl.InUse() != 3 {
+			t.Errorf("in-use %d right after shrink, want 3 (no revocation)", pl.InUse())
+		}
+	})
+	// A late arrival must wait until occupancy drains below the new cap.
+	var lateGrant time.Duration
+	env.Go("late", func(p *des.Proc) {
+		p.Sleep(600 * time.Millisecond)
+		pl.Acquire(p)
+		lateGrant = p.Now()
+		pl.Release()
+	})
+	env.Run(time.Minute)
+	if released != 3 {
+		t.Fatalf("released %d, want 3", released)
+	}
+	// Units release at 1s, 2s, 3s; capacity 1 means the late waiter is
+	// admitted only when occupancy drops below 1, i.e. at t=3s.
+	if lateGrant != 3*time.Second {
+		t.Errorf("late grant at %v, want 3s", lateGrant)
+	}
+	if pl.InUse() != 0 {
+		t.Errorf("in-use %d at end", pl.InUse())
+	}
+	env.Shutdown()
+}
+
+func TestResizeInvalidPanics(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Resize(0) did not panic")
+		}
+	}()
+	pl.Resize(0)
+}
+
+func TestResizeKeepsCapacityAccessor(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 2)
+	pl.Resize(5)
+	if pl.Capacity() != 5 {
+		t.Errorf("capacity %d, want 5", pl.Capacity())
+	}
+	pl.Resize(1)
+	if pl.Capacity() != 1 {
+		t.Errorf("capacity %d, want 1", pl.Capacity())
+	}
+}
+
+func TestResizeOverfullCountsAsSaturated(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 2)
+	env.Go("a", func(p *des.Proc) {
+		pl.Acquire(p)
+		p.Sleep(10 * time.Second)
+		pl.Release()
+	})
+	env.Go("b", func(p *des.Proc) {
+		pl.Acquire(p)
+		p.Sleep(10 * time.Second)
+		pl.Release()
+	})
+	env.Go("waiter", func(p *des.Proc) {
+		p.Sleep(time.Second)
+		pl.Acquire(p)
+		pl.Release()
+	})
+	env.At(2*time.Second, func() { pl.Resize(1) })
+	env.Run(20 * time.Second)
+	st := pl.Stats()
+	// Over-full (2 in use, cap 1) with a waiter from t=2 to t=10: the
+	// pool must report full/saturated time in that span.
+	if st.Saturated < 0.4 {
+		t.Errorf("saturated fraction %v, want substantial", st.Saturated)
+	}
+	env.Shutdown()
+}

@@ -1,0 +1,255 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	zero := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Errorf("seed 0 produced %d zero draws out of 100", zero)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, "think")
+	b := NewStream(7, "service")
+	c := NewStream(7, "think")
+	if a.Uint64() != c.Uint64() {
+		t.Error("same (seed, label) should replay identically")
+	}
+	a2 := NewStream(7, "think")
+	a2.Uint64()
+	if a2.Uint64() == b.Uint64() {
+		t.Error("different labels produced correlated draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(5)
+	const mean = 7.0
+	sum, sumSq := 0.0, 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		x := r.Exp(mean)
+		if x < 0 {
+			t.Fatalf("Exp returned negative %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / float64(n)
+	v := sumSq/float64(n) - m*m
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Errorf("Exp mean %v, want ~%v", m, mean)
+	}
+	if math.Abs(math.Sqrt(v)-mean)/mean > 0.05 {
+		t.Errorf("Exp stddev %v, want ~%v", math.Sqrt(v), mean)
+	}
+}
+
+func TestExpDegenerate(t *testing.T) {
+	r := New(6)
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Error("Exp of non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(8)
+	sum, sumSq := 0.0, 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		x := r.Normal(10, 2)
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - m*m)
+	if math.Abs(m-10) > 0.05 {
+		t.Errorf("Normal mean %v, want ~10", m)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("Normal stddev %v, want ~2", sd)
+	}
+}
+
+func TestLogNormalMeanMatchesTarget(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	n := 400000
+	for i := 0; i < n; i++ {
+		sum += r.LogNormalMean(0.005, 1.5)
+	}
+	m := sum / float64(n)
+	if math.Abs(m-0.005)/0.005 > 0.05 {
+		t.Errorf("LogNormalMean mean %v, want ~0.005", m)
+	}
+}
+
+func TestLogNormalMeanDegenerate(t *testing.T) {
+	r := New(10)
+	if got := r.LogNormalMean(5, 0); got != 5 {
+		t.Errorf("cv=0 should return the mean, got %v", got)
+	}
+	if got := r.LogNormalMean(0, 1); got != 0 {
+		t.Errorf("mean<=0 should return 0, got %v", got)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		x := r.Pareto(0.001, 1.0, 1.3)
+		if x < 0.001-1e-12 || x > 1.0+1e-9 {
+			t.Fatalf("Pareto %v outside [0.001, 1]", x)
+		}
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	r := New(12)
+	for _, c := range []struct{ lo, hi, a float64 }{{0, 1, 1}, {1, 1, 1}, {1, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pareto(%v,%v,%v) did not panic", c.lo, c.hi, c.a)
+				}
+			}()
+			r.Pareto(c.lo, c.hi, c.a)
+		}()
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(13)
+	weights := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalEdgeCases(t *testing.T) {
+	r := New(14)
+	if r.Categorical([]float64{0, 0}) != 0 {
+		t.Error("all-zero weights should return 0")
+	}
+	if r.Categorical([]float64{0, 5, 0}) != 1 {
+		t.Error("single positive weight should always be chosen")
+	}
+	if r.Categorical([]float64{-1, 2}) != 1 {
+		t.Error("negative weight should be skipped")
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := New(15)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestQuickUniformInRange(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			u := r.Uniform(lo, hi)
+			if u < lo || u >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(7)
+	}
+	_ = sink
+}

@@ -1,0 +1,153 @@
+package rubbos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// Target is the system under test as seen by an emulated browser: Do blocks
+// until the complete response (including static follow-ups) is received.
+type Target interface {
+	Do(p *des.Proc, it *Interaction)
+}
+
+// Collector receives one record per completed request.
+type Collector func(it *Interaction, issued time.Duration, rt time.Duration)
+
+// ClientConfig configures the closed-loop load generator.
+type ClientConfig struct {
+	Users       int           // emulated users (the paper's "workload")
+	ClientNodes int           // load-generator machines (2 in the paper)
+	ThinkMean   time.Duration // exponential think time mean (~7 s)
+	RampUp      time.Duration // users start uniformly over this period
+	Matrix      *Matrix       // navigation graph
+	Seed        uint64
+
+	// Tracer, when set, samples per-request phase traces (see the trace
+	// package).
+	Tracer *trace.Tracer
+
+	// Patience, when positive, models user abandonment (the Aberdeen
+	// behaviour the paper cites: slow pages lose customers): a response
+	// slower than Patience makes the user abandon the session — navigate
+	// back to the home page after a longer, frustrated think time.
+	Patience time.Duration
+	// AbandonThink is the mean think time after abandoning (default
+	// 3x ThinkMean).
+	AbandonThink time.Duration
+}
+
+// DefaultClientConfig mirrors the paper's setup at the given user count:
+// two client nodes, 7-second mean think time, browse-only navigation.
+func DefaultClientConfig(users int) ClientConfig {
+	return ClientConfig{
+		Users:       users,
+		ClientNodes: 2,
+		ThinkMean:   7 * time.Second,
+		RampUp:      30 * time.Second,
+		Matrix:      BrowseOnlyMix(),
+		Seed:        1,
+	}
+}
+
+// Workload is a running set of emulated user sessions.
+type Workload struct {
+	cfg   ClientConfig
+	table *Table
+
+	issued    uint64
+	completed uint64
+	abandoned uint64
+}
+
+// UsersPerNode returns the emulated-user count per client node, the load
+// measure that drives the FIN-delay model.
+func (w *Workload) UsersPerNode() float64 {
+	if w.cfg.ClientNodes <= 0 {
+		return float64(w.cfg.Users)
+	}
+	return float64(w.cfg.Users) / float64(w.cfg.ClientNodes)
+}
+
+// Issued returns the number of requests sent so far.
+func (w *Workload) Issued() uint64 { return w.issued }
+
+// Completed returns the number of responses received so far.
+func (w *Workload) Completed() uint64 { return w.completed }
+
+// Abandoned returns the number of sessions abandoned over slow responses
+// (0 unless ClientConfig.Patience is set).
+func (w *Workload) Abandoned() uint64 { return w.abandoned }
+
+// Start launches cfg.Users session processes against target. Each session
+// loops forever: think, issue the current interaction, record the response
+// time, pick the next interaction from the navigation matrix. Sessions stop
+// when the simulation stops; the experiment layer gates measurement windows.
+func Start(env *des.Env, cfg ClientConfig, table *Table, target Target, collect Collector) (*Workload, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("rubbos: %d users", cfg.Users)
+	}
+	if cfg.Matrix == nil {
+		return nil, fmt.Errorf("rubbos: nil navigation matrix")
+	}
+	if err := cfg.Matrix.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ThinkMean < 0 {
+		return nil, fmt.Errorf("rubbos: negative think time")
+	}
+	if cfg.Patience > 0 && cfg.AbandonThink == 0 {
+		cfg.AbandonThink = 3 * cfg.ThinkMean
+	}
+	w := &Workload{cfg: cfg, table: table}
+	for u := 0; u < cfg.Users; u++ {
+		u := u
+		r := rng.NewStream(cfg.Seed, fmt.Sprintf("user-%d", u))
+		var offset time.Duration
+		if cfg.RampUp > 0 {
+			offset = time.Duration(uint64(cfg.RampUp) * uint64(u) / uint64(cfg.Users))
+		}
+		env.Go(fmt.Sprintf("user-%d", u), func(p *des.Proc) {
+			p.Sleep(offset)
+			state := StoriesOfTheDay
+			think := cfg.ThinkMean
+			for {
+				p.Sleep(time.Duration(r.Exp(float64(think))))
+				think = cfg.ThinkMean
+				it := &w.table.Items[state]
+				issued := p.Now()
+				w.issued++
+				var tr *trace.Trace
+				if cfg.Tracer != nil {
+					if tr = cfg.Tracer.Sample(it.Name, issued); tr != nil {
+						p.SetData(tr)
+					}
+				}
+				target.Do(p, it)
+				if tr != nil {
+					cfg.Tracer.Finish(tr, p.Now())
+					p.SetData(nil)
+				}
+				w.completed++
+				rt := p.Now() - issued
+				if collect != nil {
+					collect(it, issued, rt)
+				}
+				if cfg.Patience > 0 && rt > cfg.Patience {
+					// Frustrated user: abandon the navigation, return to
+					// the home page after a long pause.
+					w.abandoned++
+					state = StoriesOfTheDay
+					think = cfg.AbandonThink
+					continue
+				}
+				state = cfg.Matrix.Next(r, state)
+			}
+		})
+	}
+	return w, nil
+}

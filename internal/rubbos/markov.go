@@ -1,0 +1,202 @@
+package rubbos
+
+import (
+	"fmt"
+
+	"github.com/softres/ntier/internal/rng"
+)
+
+// Matrix is a Markov transition matrix over the interaction set: Matrix[i]
+// holds the probabilities of the next interaction given the current one.
+type Matrix struct {
+	Name string
+	P    [NumInteractions][NumInteractions]float64
+}
+
+// row installs transitions from `from` as alternating (to, weight) pairs and
+// normalizes them to probabilities.
+func (m *Matrix) row(from int, pairs ...float64) {
+	if len(pairs)%2 != 0 {
+		panic("rubbos: row pairs must be (to, weight) pairs")
+	}
+	total := 0.0
+	for i := 0; i < len(pairs); i += 2 {
+		total += pairs[i+1]
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		m.P[from][int(pairs[i])] += pairs[i+1] / total
+	}
+}
+
+// BrowseOnlyMix returns the navigation graph of the RUBBoS browsing-only
+// workload: no state ever transitions into a write interaction. The graph is
+// a reconstruction of Slashdot-style reading behaviour (home page → story →
+// comments, with occasional category browsing and searches).
+func BrowseOnlyMix() *Matrix {
+	m := &Matrix{Name: "browse-only"}
+	h, bc, bsc, os, vs, vc := float64(StoriesOfTheDay), float64(BrowseCategories),
+		float64(BrowseStoriesByCategory), float64(OlderStories), float64(ViewStory), float64(ViewComment)
+	se, ss, sc, su, am := float64(Search), float64(SearchInStories),
+		float64(SearchInComments), float64(SearchUsers), float64(AboutMe)
+
+	m.row(StoriesOfTheDay, vs, 45, bc, 15, os, 15, se, 10, h, 10, am, 5)
+	m.row(BrowseCategories, bsc, 70, h, 20, se, 10)
+	m.row(BrowseStoriesByCategory, vs, 55, bsc, 20, bc, 15, h, 10)
+	m.row(OlderStories, vs, 55, os, 25, h, 20)
+	m.row(ViewStory, vc, 45, h, 25, vs, 15, os, 10, bc, 5)
+	m.row(ViewComment, vc, 40, vs, 25, h, 30, am, 5)
+	m.row(Search, ss, 50, sc, 25, su, 15, h, 10)
+	m.row(SearchInStories, vs, 50, ss, 20, se, 15, h, 15)
+	m.row(SearchInComments, vc, 45, sc, 20, se, 15, h, 20)
+	m.row(SearchUsers, am, 45, se, 25, h, 30)
+	m.row(AboutMe, vs, 40, vc, 25, h, 35)
+
+	// States only reachable in the read/write mix still need valid rows so
+	// the matrix is stochastic; send them home.
+	for i := 0; i < NumInteractions; i++ {
+		sum := 0.0
+		for j := 0; j < NumInteractions; j++ {
+			sum += m.P[i][j]
+		}
+		if sum == 0 {
+			m.P[i][StoriesOfTheDay] = 1
+		}
+	}
+	return m
+}
+
+// ReadWriteMix returns the navigation graph of the RUBBoS read/write
+// workload: roughly 85% browsing plus comment posting, story submission,
+// registration, and the author/moderator review workflow.
+func ReadWriteMix() *Matrix {
+	m := BrowseOnlyMix()
+	m.Name = "read-write"
+	h, vs, vc := float64(StoriesOfTheDay), float64(ViewStory), float64(ViewComment)
+	pc, stc := float64(PostComment), float64(StoreComment)
+	reg, regu := float64(Register), float64(RegisterUser)
+	al, at, rs, acs, rjs, sub, sts := float64(AuthorLogin), float64(AuthorTasks),
+		float64(ReviewStories), float64(AcceptStory), float64(RejectStory),
+		float64(SubmitStory), float64(StoreStory)
+	mc, smc := float64(ModerateComment), float64(StoreModeratorComment)
+
+	// Redefine the rows that gain write transitions, clearing the
+	// browse-only (or send-home fallback) rows first.
+	for _, from := range []int{
+		ViewStory, ViewComment, StoriesOfTheDay,
+		Register, RegisterUser, PostComment, StoreComment, SubmitStory,
+		StoreStory, AuthorLogin, AuthorTasks, ReviewStories, AcceptStory,
+		RejectStory, ModerateComment, StoreModeratorComment,
+	} {
+		for j := range m.P[from] {
+			m.P[from][j] = 0
+		}
+	}
+	m.row(StoriesOfTheDay, vs, 40, float64(BrowseCategories), 13, float64(OlderStories), 13,
+		float64(Search), 9, h, 9, float64(AboutMe), 4, sub, 5, reg, 4, al, 3)
+	m.row(ViewStory, vc, 40, h, 22, vs, 13, float64(OlderStories), 9,
+		float64(BrowseCategories), 4, pc, 12)
+	m.row(ViewComment, vc, 33, vs, 20, h, 25, float64(AboutMe), 4, pc, 12, mc, 6)
+
+	m.row(Register, regu, 70, h, 30)
+	m.row(RegisterUser, h, 100)
+	m.row(PostComment, stc, 85, vs, 15)
+	m.row(StoreComment, vc, 60, h, 40)
+	m.row(SubmitStory, sts, 85, h, 15)
+	m.row(StoreStory, h, 100)
+	m.row(AuthorLogin, at, 90, h, 10)
+	m.row(AuthorTasks, rs, 80, h, 20)
+	m.row(ReviewStories, acs, 50, rjs, 30, at, 20)
+	m.row(AcceptStory, rs, 60, at, 40)
+	m.row(RejectStory, rs, 60, at, 40)
+	m.row(ModerateComment, smc, 80, vc, 20)
+	m.row(StoreModeratorComment, vc, 60, h, 40)
+	return m
+}
+
+// WriteHeavyMix returns a stress variant of the read/write mix in which
+// most navigation flows through story submission and comment posting —
+// useful for driving the database tier's disk to saturation (a scenario
+// outside the paper's browsing-mix evaluation, exercised by the tuner's
+// "mysql critical" path).
+func WriteHeavyMix() *Matrix {
+	m := ReadWriteMix()
+	m.Name = "write-heavy"
+	h, vs := float64(StoriesOfTheDay), float64(ViewStory)
+	sub, sts := float64(SubmitStory), float64(StoreStory)
+	pc, stc := float64(PostComment), float64(StoreComment)
+	for _, from := range []int{StoriesOfTheDay, ViewStory, SubmitStory, PostComment} {
+		for j := range m.P[from] {
+			m.P[from][j] = 0
+		}
+	}
+	m.row(StoriesOfTheDay, sub, 35, vs, 35, h, 10, pc, 20)
+	m.row(ViewStory, pc, 45, h, 30, vs, 25)
+	m.row(SubmitStory, sts, 95, h, 5)
+	m.row(PostComment, stc, 95, vs, 5)
+	return m
+}
+
+// Validate checks the matrix is stochastic: every row sums to 1.
+func (m *Matrix) Validate() error {
+	for i := range m.P {
+		sum := 0.0
+		for _, p := range m.P[i] {
+			if p < 0 {
+				return fmt.Errorf("rubbos: %s row %d has negative probability", m.Name, i)
+			}
+			sum += p
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			return fmt.Errorf("rubbos: %s row %d sums to %v", m.Name, i, sum)
+		}
+	}
+	return nil
+}
+
+// Next samples the next interaction index from state i.
+func (m *Matrix) Next(r *rng.Rand, i int) int {
+	x := r.Float64()
+	for j, p := range m.P[i] {
+		x -= p
+		if x < 0 {
+			return j
+		}
+	}
+	return NumInteractions - 1
+}
+
+// Stationary computes the stationary distribution of the chain by power
+// iteration from the home page. Unreachable states get probability ~0.
+func (m *Matrix) Stationary() []float64 {
+	cur := make([]float64, NumInteractions)
+	next := make([]float64, NumInteractions)
+	cur[StoriesOfTheDay] = 1
+	for iter := 0; iter < 2000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i, pi := range cur {
+			if pi == 0 {
+				continue
+			}
+			for j, p := range m.P[i] {
+				if p > 0 {
+					next[j] += pi * p
+				}
+			}
+		}
+		delta := 0.0
+		for j := range next {
+			d := next[j] - cur[j]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		cur, next = next, cur
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,92 @@
+package sla
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRevenueModelRate(t *testing.T) {
+	m := EcommerceModel()
+	cases := []struct {
+		rt   time.Duration
+		want float64
+	}{
+		{100 * time.Millisecond, 1.0},
+		{500 * time.Millisecond, 1.0}, // boundary inclusive
+		{700 * time.Millisecond, 0.8},
+		{1500 * time.Millisecond, 0.5},
+		{2 * time.Second, 0.5},
+		{3 * time.Second, -1.0},
+	}
+	for _, c := range cases {
+		if got := m.Rate(c.rt); got != c.want {
+			t.Errorf("Rate(%v) = %v, want %v", c.rt, got, c.want)
+		}
+	}
+}
+
+func TestSimpleModel(t *testing.T) {
+	m := SimpleModel(time.Second, 2, 3)
+	if m.Rate(900*time.Millisecond) != 2 {
+		t.Error("within threshold should earn")
+	}
+	if m.Rate(1100*time.Millisecond) != -3 {
+		t.Error("beyond threshold should pay")
+	}
+}
+
+func TestRevenueModelValidate(t *testing.T) {
+	if err := (RevenueModel{}).Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	bad := RevenueModel{Tiers: []RevenueTier{
+		{Bound: time.Second, Earning: 1},
+		{Bound: time.Second, Earning: 0.5},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if err := EcommerceModel().Validate(); err != nil {
+		t.Errorf("ecommerce model rejected: %v", err)
+	}
+}
+
+func TestEvaluateRevenue(t *testing.T) {
+	c := NewCollector(StandardThresholds)
+	c.Observe(100 * time.Millisecond) // 1.0
+	c.Observe(800 * time.Millisecond) // 0.8
+	c.Observe(1500 * time.Millisecond)
+	c.Observe(1500 * time.Millisecond) // 2 x 0.5
+	c.Observe(5 * time.Second)         // -1.0
+	rev, err := c.EvaluateRevenue(EcommerceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rev-1.8) > 1e-9 {
+		t.Errorf("revenue %v, want 1.8", rev)
+	}
+}
+
+func TestEvaluateRevenueInvalidModel(t *testing.T) {
+	c := NewCollector(StandardThresholds)
+	if _, err := c.EvaluateRevenue(RevenueModel{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestRevenueMonotoneInPerformance(t *testing.T) {
+	// A collector with faster responses must never earn less.
+	fast := NewCollector(StandardThresholds)
+	slow := NewCollector(StandardThresholds)
+	for i := 0; i < 100; i++ {
+		fast.Observe(200 * time.Millisecond)
+		slow.Observe(1800 * time.Millisecond)
+	}
+	m := EcommerceModel()
+	fr, _ := fast.EvaluateRevenue(m)
+	sr, _ := slow.EvaluateRevenue(m)
+	if fr <= sr {
+		t.Errorf("fast revenue %v <= slow revenue %v", fr, sr)
+	}
+}

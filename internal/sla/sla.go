@@ -1,0 +1,123 @@
+// Package sla implements the paper's simplified service-level-agreement
+// model: a response-time threshold splits throughput into goodput (requests
+// within the bound, which earn revenue) and badput (requests over the bound,
+// which incur penalties). See paper §II-B.
+package sla
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/metrics"
+)
+
+// StandardThresholds are the three SLA bounds the paper evaluates.
+var StandardThresholds = []time.Duration{
+	500 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+}
+
+// RTBounds are the paper's Fig. 3(c) response-time histogram bucket bounds
+// in seconds.
+var RTBounds = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0}
+
+// Collector accumulates per-request response times during a measurement
+// window and reports throughput/goodput/badput per threshold.
+type Collector struct {
+	thresholds []time.Duration
+	good       []uint64
+	total      uint64
+	elapsed    time.Duration
+
+	rts  metrics.Sample
+	hist *metrics.Histogram
+}
+
+// NewCollector creates a collector for the given thresholds (typically
+// StandardThresholds).
+func NewCollector(thresholds []time.Duration) *Collector {
+	return &Collector{
+		thresholds: append([]time.Duration(nil), thresholds...),
+		good:       make([]uint64, len(thresholds)),
+		hist:       metrics.NewHistogram(RTBounds),
+	}
+}
+
+// Observe records one completed request with response time rt.
+func (c *Collector) Observe(rt time.Duration) {
+	c.total++
+	for i, th := range c.thresholds {
+		if rt <= th {
+			c.good[i]++
+		}
+	}
+	c.rts.Add(rt.Seconds())
+	c.hist.Add(rt.Seconds())
+}
+
+// SetElapsed records the measurement-window length used for rate
+// computations.
+func (c *Collector) SetElapsed(d time.Duration) { c.elapsed = d }
+
+// Total returns the number of requests observed.
+func (c *Collector) Total() uint64 { return c.total }
+
+// Throughput returns overall requests per second.
+func (c *Collector) Throughput() float64 {
+	if c.elapsed <= 0 {
+		return 0
+	}
+	return float64(c.total) / c.elapsed.Seconds()
+}
+
+// Goodput returns requests per second within the given threshold. The
+// threshold must be one passed to NewCollector.
+func (c *Collector) Goodput(th time.Duration) float64 {
+	if c.elapsed <= 0 {
+		return 0
+	}
+	for i, t := range c.thresholds {
+		if t == th {
+			return float64(c.good[i]) / c.elapsed.Seconds()
+		}
+	}
+	panic(fmt.Sprintf("sla: threshold %v not collected", th))
+}
+
+// Badput returns Throughput minus Goodput for the threshold.
+func (c *Collector) Badput(th time.Duration) float64 {
+	return c.Throughput() - c.Goodput(th)
+}
+
+// SatisfactionRatio returns the fraction of requests within the threshold
+// (the SLO satisfaction the intervention analysis watches), or 1 with no
+// requests.
+func (c *Collector) SatisfactionRatio(th time.Duration) float64 {
+	if c.total == 0 {
+		return 1
+	}
+	for i, t := range c.thresholds {
+		if t == th {
+			return float64(c.good[i]) / float64(c.total)
+		}
+	}
+	panic(fmt.Sprintf("sla: threshold %v not collected", th))
+}
+
+// ResponseTimes returns the collected response-time sample (seconds).
+func (c *Collector) ResponseTimes() *metrics.Sample { return &c.rts }
+
+// Histogram returns the Fig. 3(c)-style response-time distribution.
+func (c *Collector) Histogram() *metrics.Histogram { return c.hist }
+
+// Revenue computes provider revenue under a simple earning/penalty model:
+// earn per good request, pay penalty per bad request (paper §II-B).
+func (c *Collector) Revenue(th time.Duration, earning, penalty float64) float64 {
+	if c.elapsed <= 0 {
+		return 0
+	}
+	good := c.Goodput(th) * c.elapsed.Seconds()
+	bad := float64(c.total) - good
+	return good*earning - bad*penalty
+}

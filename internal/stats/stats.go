@@ -1,0 +1,227 @@
+// Package stats provides the statistical machinery behind the paper's
+// allocation algorithm: Welch's t-test and the intervention (change-point)
+// analysis used to locate the minimum workload that saturates the critical
+// hardware resource (paper §IV-B, citing Malkowski et al., DSOM'07).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// values.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// TTest holds the result of a Welch two-sample t-test.
+type TTest struct {
+	T  float64 // t statistic (positive when mean(a) > mean(b))
+	DF float64 // Welch-Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// Welch runs Welch's unequal-variance t-test on two samples. Each sample
+// needs at least two values.
+func Welch(a, b []float64) (TTest, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTest{}, fmt.Errorf("stats: Welch needs >=2 values per sample (got %d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		// Identical constant samples: no evidence of difference; distinct
+		// constants: infinite evidence.
+		if ma == mb {
+			return TTest{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		t := math.Inf(1)
+		if ma < mb {
+			t = math.Inf(-1)
+		}
+		return TTest{T: t, DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return TTest{T: t, DF: df, P: studentTwoSidedP(t, df)}, nil
+}
+
+// studentTwoSidedP returns the two-sided p-value for a Student-t statistic
+// with df degrees of freedom, via the regularized incomplete beta function.
+func studentTwoSidedP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Direction says which way a series moves when the system saturates.
+type Direction int
+
+const (
+	// Increase detects an upward shift (e.g. response times).
+	Increase Direction = iota
+	// Decrease detects a downward shift (e.g. SLO satisfaction).
+	Decrease
+)
+
+// InterventionConfig tunes the change-point detection.
+type InterventionConfig struct {
+	// MinPre is the minimum number of pre-intervention points forming the
+	// stable baseline (default 3).
+	MinPre int
+	// Sigmas is the baseline-noise multiple a point must exceed to count
+	// as an intervention (default 4).
+	Sigmas float64
+	// MinShift is the minimum absolute deviation to accept, guarding
+	// against flagging negligible drifts in very quiet baselines.
+	MinShift float64
+	// RelShift is the minimum deviation as a fraction of the baseline mean
+	// (default 0.05). The effective threshold is the max of all three.
+	RelShift float64
+}
+
+// DetectIntervention locates the first index k at which ys deviates from
+// the preceding stable baseline by more than the noise threshold, in the
+// given direction, and stays deviated for the rest of the series (the
+// paper's intervention analysis on SLO satisfaction: stable under low
+// workload, deteriorating once the critical resource saturates). It returns
+// the index of the last stable point, or -1 if no intervention is found.
+func DetectIntervention(ys []float64, dir Direction, cfg InterventionConfig) int {
+	if cfg.MinPre < 2 {
+		cfg.MinPre = 3
+	}
+	if cfg.Sigmas <= 0 {
+		cfg.Sigmas = 4
+	}
+	if cfg.RelShift <= 0 {
+		cfg.RelShift = 0.05
+	}
+	dev := func(baseline, y float64) float64 {
+		if dir == Decrease {
+			return baseline - y
+		}
+		return y - baseline
+	}
+	n := len(ys)
+	for k := cfg.MinPre; k < n; k++ {
+		pre := ys[:k]
+		m := Mean(pre)
+		sd := math.Sqrt(Variance(pre))
+		thresh := math.Max(cfg.Sigmas*sd, math.Max(cfg.MinShift, cfg.RelShift*math.Abs(m)))
+		if thresh == 0 {
+			thresh = 1e-12
+		}
+		if dev(m, ys[k]) <= thresh {
+			continue // still stable: extend the baseline
+		}
+		sustained := true
+		for j := k + 1; j < n; j++ {
+			if dev(m, ys[j]) < thresh/2 {
+				sustained = false
+				break
+			}
+		}
+		if sustained {
+			return k - 1
+		}
+	}
+	return -1
+}

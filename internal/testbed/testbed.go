@@ -1,0 +1,212 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/hw"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/tier"
+)
+
+// Options configures a topology build. Zero values take the paper defaults.
+type Options struct {
+	Hardware Hardware
+	Soft     SoftAlloc
+	Seed     uint64
+
+	NodeSpec    hw.Spec       // hardware per node (default PC3000)
+	LinkLatency time.Duration // tier-to-tier hop (default 150µs)
+
+	// ClientLinkMbps, when positive, models the client-facing network
+	// segment as a shared capacity-limited link: responses contend for
+	// bandwidth on their way out. 0 disables the model (the paper's
+	// 1 Gbps LAN never binds).
+	ClientLinkMbps float64
+
+	// Tune hooks adjust the per-server model configurations after the
+	// defaults are applied (calibration and ablation knobs).
+	TuneApache func(*tier.ApacheConfig)
+	TuneTomcat func(*tier.TomcatConfig)
+	TuneCJDBC  func(*tier.CJDBCConfig)
+
+	// DisableGC gives every JVM an effectively infinite heap (ablation).
+	DisableGC bool
+	// DisableFinWait turns off Apache's lingering close (ablation).
+	DisableFinWait bool
+}
+
+// Testbed is a fully wired n-tier deployment.
+type Testbed struct {
+	Env   *des.Env
+	Opts  Options
+	Table *rubbos.Table
+
+	Apaches []*tier.Apache
+	Tomcats []*tier.Tomcat
+	CJDBCs  []*tier.CJDBC
+	MySQLs  []*tier.MySQL
+
+	// ClientLink is the shared client-facing segment (nil unless
+	// Options.ClientLinkMbps is set).
+	ClientLink *netsim.SharedLink
+
+	rr int // front-end round-robin cursor
+}
+
+// Build constructs the topology described by opts.
+func Build(opts Options) (*Testbed, error) {
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Soft.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NodeSpec.Cores == 0 {
+		opts.NodeSpec = hw.PC3000()
+	}
+	if opts.LinkLatency == 0 {
+		opts.LinkLatency = 700 * time.Microsecond
+	}
+	env := des.NewEnv()
+	link := netsim.Link{Latency: opts.LinkLatency}
+	tb := &Testbed{Env: env, Opts: opts, Table: rubbos.NewTable()}
+
+	// Database tier. Every database node carries a disk for synchronous
+	// write commits (idle under the browsing mix).
+	for i := 0; i < opts.Hardware.DB; i++ {
+		node := hw.NewNode(env, fmt.Sprintf("mysql%d", i+1), opts.NodeSpec)
+		node.AttachDisk()
+		r := rng.NewStream(opts.Seed, node.Name())
+		tb.MySQLs = append(tb.MySQLs, tier.NewMySQL(env, node, link, r))
+	}
+
+	// Clustering middleware tier (one node in all paper configurations,
+	// but the builder supports more).
+	for i := 0; i < opts.Hardware.Mid; i++ {
+		cfg := tier.DefaultCJDBCConfig()
+		if opts.TuneCJDBC != nil {
+			opts.TuneCJDBC(&cfg)
+		}
+		if opts.DisableGC {
+			cfg.JVM.HeapMiB = 1e12
+		}
+		node := hw.NewNode(env, fmt.Sprintf("cjdbc%d", i+1), opts.NodeSpec)
+		r := rng.NewStream(opts.Seed, node.Name())
+		tb.CJDBCs = append(tb.CJDBCs, tier.NewCJDBC(env, node, cfg, tb.MySQLs, link, r))
+	}
+
+	// Application tier. With several middleware nodes, Tomcats spread
+	// across them round-robin at build time.
+	for i := 0; i < opts.Hardware.App; i++ {
+		cfg := tier.DefaultTomcatConfig(opts.Soft.AppThreads, opts.Soft.AppConns)
+		if opts.TuneTomcat != nil {
+			opts.TuneTomcat(&cfg)
+		}
+		if opts.DisableGC {
+			cfg.JVM.HeapMiB = 1e12
+		}
+		node := hw.NewNode(env, fmt.Sprintf("tomcat%d", i+1), opts.NodeSpec)
+		r := rng.NewStream(opts.Seed, node.Name())
+		backend := tb.CJDBCs[i%len(tb.CJDBCs)]
+		tb.Tomcats = append(tb.Tomcats, tier.NewTomcat(env, node, cfg, backend, link, r))
+	}
+
+	// Each middleware node holds one resident thread per upstream DB
+	// connection, busy or idle.
+	perMid := make([]int, opts.Hardware.Mid)
+	for i := 0; i < opts.Hardware.App; i++ {
+		perMid[i%opts.Hardware.Mid] += opts.Soft.AppConns
+	}
+	for i, c := range tb.CJDBCs {
+		c.SetUpstreamConns(perMid[i])
+	}
+
+	// Client-facing network segment.
+	var clientLink *netsim.SharedLink
+	if opts.ClientLinkMbps > 0 {
+		clientLink = netsim.NewSharedLink(env, "clientlink", opts.ClientLinkMbps, opts.LinkLatency)
+		tb.ClientLink = clientLink
+	}
+
+	// Web tier.
+	for i := 0; i < opts.Hardware.Web; i++ {
+		cfg := tier.DefaultApacheConfig(opts.Soft.WebThreads)
+		if opts.TuneApache != nil {
+			opts.TuneApache(&cfg)
+		}
+		if opts.DisableFinWait {
+			cfg.Fin = netsim.FinConfig{}
+		}
+		node := hw.NewNode(env, fmt.Sprintf("apache%d", i+1), opts.NodeSpec)
+		r := rng.NewStream(opts.Seed, node.Name())
+		a := tier.NewApache(env, node, cfg, tb.Tomcats, link, r)
+		a.SetClientLink(clientLink)
+		tb.Apaches = append(tb.Apaches, a)
+	}
+	return tb, nil
+}
+
+// Do implements rubbos.Target, balancing sessions across web servers.
+func (tb *Testbed) Do(p *des.Proc, it *rubbos.Interaction) {
+	a := tb.Apaches[tb.rr%len(tb.Apaches)]
+	tb.rr++
+	a.Do(p, it)
+}
+
+// StartWorkload launches a closed-loop RUBBoS workload of `users` emulated
+// users against the testbed and informs the FIN model of the per-client-node
+// load.
+func (tb *Testbed) StartWorkload(cfg rubbos.ClientConfig, collect rubbos.Collector) (*rubbos.Workload, error) {
+	w, err := rubbos.Start(tb.Env, cfg, tb.Table, tb, collect)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range tb.Apaches {
+		a.SetFinLoad(w.UsersPerNode())
+	}
+	return w, nil
+}
+
+// Nodes returns every hardware node in tier order.
+func (tb *Testbed) Nodes() []*hw.Node {
+	var out []*hw.Node
+	for _, a := range tb.Apaches {
+		out = append(out, a.Node)
+	}
+	for _, t := range tb.Tomcats {
+		out = append(out, t.Node)
+	}
+	for _, c := range tb.CJDBCs {
+		out = append(out, c.Node)
+	}
+	for _, m := range tb.MySQLs {
+		out = append(out, m.Node)
+	}
+	return out
+}
+
+// ResetStats starts a fresh measurement window on every server.
+func (tb *Testbed) ResetStats() {
+	if tb.ClientLink != nil {
+		tb.ClientLink.ResetStats()
+	}
+	for _, a := range tb.Apaches {
+		a.ResetStats()
+	}
+	for _, t := range tb.Tomcats {
+		t.ResetStats()
+	}
+	for _, c := range tb.CJDBCs {
+		c.ResetStats()
+	}
+	for _, m := range tb.MySQLs {
+		m.ResetStats()
+	}
+}
+
+// Close unwinds all simulation processes; the testbed is unusable after.
+func (tb *Testbed) Close() { tb.Env.Shutdown() }

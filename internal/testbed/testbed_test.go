@@ -1,0 +1,254 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/rubbos"
+)
+
+func TestParseHardware(t *testing.T) {
+	h, err := ParseHardware("1/2/1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != (Hardware{1, 2, 1, 2}) {
+		t.Errorf("parsed %+v", h)
+	}
+	if h.String() != "1/2/1/2" {
+		t.Errorf("String() = %q", h.String())
+	}
+	for _, bad := range []string{"", "1/2/1", "1/2/1/2/3", "a/2/1/2", "0/2/1/2", "-1/2/1/2"} {
+		if _, err := ParseHardware(bad); err == nil {
+			t.Errorf("ParseHardware(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSoftAlloc(t *testing.T) {
+	s, err := ParseSoftAlloc("400-15-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (SoftAlloc{400, 15, 6}) {
+		t.Errorf("parsed %+v", s)
+	}
+	if s.String() != "400-15-6" {
+		t.Errorf("String() = %q", s.String())
+	}
+	if s.Scale(2) != (SoftAlloc{800, 30, 12}) {
+		t.Errorf("Scale(2) = %+v", s.Scale(2))
+	}
+	for _, bad := range []string{"", "400-15", "400-15-6-1", "x-15-6", "0-15-6"} {
+		if _, err := ParseSoftAlloc(bad); err == nil {
+			t.Errorf("ParseSoftAlloc(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBuildWiresTopology(t *testing.T) {
+	tb, err := Build(Options{
+		Hardware: Hardware{1, 2, 1, 2},
+		Soft:     SoftAlloc{400, 15, 6},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.Apaches) != 1 || len(tb.Tomcats) != 2 || len(tb.CJDBCs) != 1 || len(tb.MySQLs) != 2 {
+		t.Fatalf("topology %d/%d/%d/%d, want 1/2/1/2",
+			len(tb.Apaches), len(tb.Tomcats), len(tb.CJDBCs), len(tb.MySQLs))
+	}
+	if got := tb.CJDBCs[0].UpstreamConns(); got != 12 {
+		t.Errorf("C-JDBC resident threads %d, want 2 app servers x 6 conns = 12", got)
+	}
+	if tb.Tomcats[0].Threads.Capacity() != 15 || tb.Tomcats[0].Conns.Capacity() != 6 {
+		t.Errorf("tomcat pools %d/%d, want 15/6",
+			tb.Tomcats[0].Threads.Capacity(), tb.Tomcats[0].Conns.Capacity())
+	}
+	if tb.Apaches[0].Workers.Capacity() != 400 {
+		t.Errorf("apache workers %d, want 400", tb.Apaches[0].Workers.Capacity())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Options{Hardware: Hardware{0, 1, 1, 1}, Soft: SoftAlloc{1, 1, 1}}); err == nil {
+		t.Error("zero web tier should fail")
+	}
+	if _, err := Build(Options{Hardware: Hardware{1, 1, 1, 1}, Soft: SoftAlloc{0, 1, 1}}); err == nil {
+		t.Error("zero pool should fail")
+	}
+}
+
+// runSmoke runs a small closed-loop workload and returns overall throughput
+// and mean response time over the measurement window.
+func runSmoke(t *testing.T, users int, opts Options) (tp float64, meanRT time.Duration) {
+	t.Helper()
+	tb, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	ccfg := rubbos.DefaultClientConfig(users)
+	ccfg.RampUp = 10 * time.Second
+	ccfg.Seed = opts.Seed
+	var count uint64
+	var sumRT time.Duration
+	measureStart := 20 * time.Second
+	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+		if issued >= measureStart {
+			count++
+			sumRT += rt
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 60 * time.Second
+	tb.Env.Run(horizon)
+	elapsed := (horizon - measureStart).Seconds()
+	if count == 0 {
+		t.Fatal("no requests completed")
+	}
+	return float64(count) / elapsed, sumRT / time.Duration(count)
+}
+
+func TestEndToEndLightLoad(t *testing.T) {
+	opts := Options{
+		Hardware: Hardware{1, 2, 1, 2},
+		Soft:     SoftAlloc{400, 15, 6},
+		Seed:     7,
+	}
+	tp, rt := runSmoke(t, 500, opts)
+	// Closed loop: X ≈ N/(Z+R) ≈ 500/7s ≈ 71 req/s at light load.
+	if tp < 55 || tp > 85 {
+		t.Errorf("light-load throughput %.1f req/s, want ~71", tp)
+	}
+	if rt > 200*time.Millisecond {
+		t.Errorf("light-load mean RT %v, want well under 200ms", rt)
+	}
+}
+
+func TestEndToEndDeterministicReplay(t *testing.T) {
+	opts := Options{
+		Hardware: Hardware{1, 2, 1, 2},
+		Soft:     SoftAlloc{400, 15, 6},
+		Seed:     9,
+	}
+	tp1, rt1 := runSmoke(t, 300, opts)
+	tp2, rt2 := runSmoke(t, 300, opts)
+	if tp1 != tp2 || rt1 != rt2 {
+		t.Errorf("replay diverged: (%.3f, %v) vs (%.3f, %v)", tp1, rt1, tp2, rt2)
+	}
+}
+
+func TestSmallThreadPoolCapsThroughput(t *testing.T) {
+	// Under-allocation: 2 Tomcat threads per server must throttle hard at
+	// a workload an ample allocation handles easily.
+	small := Options{Hardware: Hardware{1, 2, 1, 2}, Soft: SoftAlloc{400, 2, 6}, Seed: 3}
+	ample := Options{Hardware: Hardware{1, 2, 1, 2}, Soft: SoftAlloc{400, 30, 20}, Seed: 3}
+	tpSmall, rtSmall := runSmoke(t, 2500, small)
+	tpAmple, rtAmple := runSmoke(t, 2500, ample)
+	if tpSmall >= tpAmple {
+		t.Errorf("tiny thread pool tp %.1f >= ample tp %.1f", tpSmall, tpAmple)
+	}
+	if rtSmall <= rtAmple {
+		t.Errorf("tiny thread pool RT %v <= ample RT %v", rtSmall, rtAmple)
+	}
+}
+
+func TestHardwareUtilizationReported(t *testing.T) {
+	opts := Options{
+		Hardware: Hardware{1, 2, 1, 2},
+		Soft:     SoftAlloc{400, 15, 6},
+		Seed:     5,
+	}
+	tb, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	ccfg := rubbos.DefaultClientConfig(1000)
+	ccfg.RampUp = 5 * time.Second
+	if _, err := tb.StartWorkload(ccfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Env.Run(15 * time.Second)
+	tb.ResetStats()
+	tb.Env.Run(45 * time.Second)
+	for _, tc := range tb.Tomcats {
+		u := tc.Node.Utilization()
+		if u <= 0 || u > 1 {
+			t.Errorf("%s utilization %v out of (0,1]", tc.Node.Name(), u)
+		}
+	}
+	u := tb.CJDBCs[0].Node.Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("cjdbc utilization %v out of (0,1]", u)
+	}
+}
+
+func TestClientLinkBindsWhenNarrow(t *testing.T) {
+	// With the paper's 1 Gbps segment the network never binds; squeeze it
+	// to 100 Mbps and the same workload caps on bandwidth: mean page ~50KB
+	// -> ~250 req/s tops.
+	run := func(mbps float64) (tp float64, util float64) {
+		opts := Options{
+			Hardware:       Hardware{1, 2, 1, 2},
+			Soft:           SoftAlloc{400, 30, 20},
+			Seed:           19,
+			ClientLinkMbps: mbps,
+		}
+		tb, err := Build(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		ccfg := rubbos.DefaultClientConfig(3000)
+		ccfg.RampUp = 10 * time.Second
+		var count uint64
+		start := 20 * time.Second
+		if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+			if issued >= start {
+				count++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		tb.Env.Run(start)
+		tb.ResetStats()
+		tb.Env.Run(50 * time.Second)
+		u := 0.0
+		if tb.ClientLink != nil {
+			u = tb.ClientLink.Utilization()
+		}
+		return float64(count) / 30, u
+	}
+
+	wideTP, wideUtil := run(1000)
+	narrowTP, narrowUtil := run(100)
+	if wideUtil <= 0 || wideUtil > 0.5 {
+		t.Errorf("1 Gbps link utilization %v, want modest and positive", wideUtil)
+	}
+	if narrowUtil < 0.95 {
+		t.Errorf("100 Mbps link utilization %v, want saturated", narrowUtil)
+	}
+	if narrowTP > wideTP*0.8 {
+		t.Errorf("narrow link TP %.1f not clearly below wide link TP %.1f", narrowTP, wideTP)
+	}
+}
+
+func TestNoClientLinkByDefault(t *testing.T) {
+	tb, err := Build(Options{
+		Hardware: Hardware{1, 2, 1, 2},
+		Soft:     SoftAlloc{400, 15, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.ClientLink != nil {
+		t.Error("client link present without ClientLinkMbps")
+	}
+}

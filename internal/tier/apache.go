@@ -1,0 +1,175 @@
+package tier
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/hw"
+	"github.com/softres/ntier/internal/metrics"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/rubbos"
+)
+
+// ApacheConfig tunes the web-server model.
+type ApacheConfig struct {
+	Workers int // worker-MPM thread pool size (#W_T)
+	// Fin parameterizes the lingering-close (client FIN wait) model;
+	// KeepAlive is off in the paper, so every request ends with a close.
+	Fin netsim.FinConfig
+}
+
+// DefaultApacheConfig returns the calibration for the paper's Apache node.
+func DefaultApacheConfig(workers int) ApacheConfig {
+	return ApacheConfig{Workers: workers, Fin: netsim.DefaultFinConfig()}
+}
+
+// Apache models the web server: a worker thread pool that parses the
+// request, proxies it to an application server, serves the static
+// follow-ups from its memory cache, and then performs a lingering close,
+// holding the worker until the client's FIN arrives. Under high client-side
+// load the FIN tail parks a large share of the workers — the paper's
+// buffering effect (§III-C).
+type Apache struct {
+	env  *des.Env
+	Node *hw.Node
+	cfg  ApacheConfig
+	link netsim.Link
+	r    *rng.Rand
+	log  ServiceLog
+
+	Workers *resource.Pool
+	Fin     *netsim.FinModel
+
+	tomcats []*Tomcat
+	rr      int
+
+	// finLoad is the emulated-user count per client node, driving the FIN
+	// tail (set by the topology builder).
+	finLoad float64
+
+	// clientLink, when set, is the shared capacity-limited segment the
+	// response is sent over (worker held during the send).
+	clientLink *netsim.SharedLink
+
+	// connecting counts workers interacting (or waiting to interact) with
+	// the Tomcat tier — Threads_connectingTomcat in Fig. 7(c).
+	connecting int
+
+	// Optional per-second timelines for the Fig. 7/8 analysis.
+	processed    *metrics.Windows // requests completed per second
+	ptTotal      *metrics.Windows // worker busy time per request (ms)
+	ptConnecting *metrics.Windows // time interacting with Tomcat (ms)
+}
+
+// NewApache creates the web server on node, balancing over tomcats.
+func NewApache(env *des.Env, node *hw.Node, cfg ApacheConfig, tomcats []*Tomcat, link netsim.Link, r *rng.Rand) *Apache {
+	return &Apache{
+		env:     env,
+		Node:    node,
+		cfg:     cfg,
+		link:    link,
+		r:       r,
+		Workers: resource.NewPool(env, node.Name()+"/workers", cfg.Workers),
+		Fin:     netsim.NewFinModel(cfg.Fin, rng.NewStream(r.Uint64(), "fin")),
+		tomcats: tomcats,
+	}
+}
+
+// Config returns the server's configuration.
+func (a *Apache) Config() ApacheConfig { return a.cfg }
+
+// Connecting returns the number of workers currently interacting (or
+// queued to interact) with the Tomcat tier.
+func (a *Apache) Connecting() int { return a.connecting }
+
+// EnableTimeline starts recording the Fig. 7/8 per-interval series from
+// `start`.
+func (a *Apache) EnableTimeline(start, interval time.Duration) {
+	a.processed = metrics.NewWindows(start, interval)
+	a.ptTotal = metrics.NewWindows(start, interval)
+	a.ptConnecting = metrics.NewWindows(start, interval)
+}
+
+// Timeline returns the recorded per-interval series (nil before
+// EnableTimeline): requests processed, worker busy ms, connecting ms.
+func (a *Apache) Timeline() (processed, ptTotal, ptConnecting *metrics.Windows) {
+	return a.processed, a.ptTotal, a.ptConnecting
+}
+
+// Do serves one complete page interaction for the calling browser process:
+// the dynamic request proxied to Tomcat plus the static follow-ups, then
+// the connection close.
+func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) {
+	a.link.Traverse(p)
+	t0 := p.Now()
+	a.Workers.Acquire(p)
+	addSpan(p, a.Node.Name(), "worker-wait", t0)
+	// Residence is measured while holding a worker (see Tomcat.Serve).
+	busyStart := p.Now()
+
+	// Request parsing and response/static-content work, half before the
+	// proxy call and half after. Static follow-ups are cache hits served
+	// by the same worker and are folded into the Apache CPU demand.
+	t0 = p.Now()
+	a.Node.CPU().Use(p, sampleMS(a.r, it.ApacheMS/2, it.CV))
+	addSpan(p, a.Node.Name(), "cpu", t0)
+
+	tc := a.tomcats[a.rr%len(a.tomcats)]
+	a.rr++
+	a.connecting++
+	connStart := p.Now()
+	tc.Serve(p, it)
+	connDur := p.Now() - connStart
+	a.connecting--
+
+	t0 = p.Now()
+	a.Node.CPU().Use(p, sampleMS(a.r, it.ApacheMS/2, it.CV))
+	addSpan(p, a.Node.Name(), "cpu", t0)
+
+	// Send the response (page plus static follow-ups) over the shared
+	// client-facing segment, still holding the worker.
+	if a.clientLink != nil {
+		t0 = p.Now()
+		a.clientLink.Transfer(p, it.ResponseKB)
+		addSpan(p, a.Node.Name(), "client-send", t0)
+	}
+
+	// Lingering close: the worker stays busy until the client FIN arrives.
+	a.Fin.SetLoad(a.finLoad)
+	if !a.Fin.Disabled() {
+		t0 = p.Now()
+		p.Sleep(a.Fin.Sample())
+		addSpan(p, a.Node.Name(), "fin-wait", t0)
+	}
+
+	busy := p.Now() - busyStart
+	a.Workers.Release()
+	now := p.Now()
+	a.log.Observe(now, busy)
+	if a.processed != nil {
+		a.processed.Observe(now, 1)
+		a.ptTotal.Observe(now, float64(busy)/float64(time.Millisecond))
+		a.ptConnecting.Observe(now, float64(connDur)/float64(time.Millisecond))
+	}
+	a.link.Traverse(p)
+}
+
+// SetFinLoad records the per-client-node user load (see
+// rubbos.Workload.UsersPerNode).
+func (a *Apache) SetFinLoad(usersPerNode float64) { a.finLoad = usersPerNode }
+
+// SetClientLink attaches the shared client-facing network segment (nil
+// disables the bandwidth model).
+func (a *Apache) SetClientLink(l *netsim.SharedLink) { a.clientLink = l }
+
+// Log returns the residence-time log.
+func (a *Apache) Log() *ServiceLog { return &a.log }
+
+// ResetStats starts a new measurement window.
+func (a *Apache) ResetStats() {
+	a.Node.ResetStats()
+	a.Workers.ResetStats()
+	a.log.Reset(a.env.Now())
+}

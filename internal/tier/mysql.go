@@ -1,0 +1,61 @@
+package tier
+
+import (
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/hw"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/rubbos"
+)
+
+// MySQL models one database server. The paper's browsing mix is
+// cache-resident, so queries are CPU-bound; MySQL creates a thread per
+// incoming connection, so its concurrency is bounded by the upstream
+// C-JDBC/Tomcat connection pools and it needs no pool of its own.
+type MySQL struct {
+	env  *des.Env
+	Node *hw.Node
+	link netsim.Link
+	r    *rng.Rand
+	log  ServiceLog
+
+	inflight int
+}
+
+// NewMySQL creates a database server on node.
+func NewMySQL(env *des.Env, node *hw.Node, link netsim.Link, r *rng.Rand) *MySQL {
+	return &MySQL{env: env, Node: node, link: link, r: r}
+}
+
+// Query executes one SQL statement for the calling request process.
+func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) {
+	m.link.Traverse(p)
+	start := p.Now()
+	m.inflight++
+	m.Node.CPU().Use(p, sampleMS(m.r, it.MySQLMS, it.CV))
+	// Write interactions commit synchronously: log flush to the disk,
+	// FCFS behind other transfers. Reads are cache-resident.
+	if it.WriteMS > 0 {
+		if d := m.Node.Disk(); d != nil {
+			t0 := p.Now()
+			d.Use(p, sampleMS(m.r, it.WriteMS, 0.4))
+			addSpan(p, m.Node.Name(), "disk-commit", t0)
+		}
+	}
+	m.inflight--
+	addSpan(p, m.Node.Name(), "exec", start)
+	m.log.Observe(p.Now(), p.Now()-start)
+	m.link.Traverse(p)
+}
+
+// Inflight returns the number of queries currently executing.
+func (m *MySQL) Inflight() int { return m.inflight }
+
+// Log returns the residence-time log.
+func (m *MySQL) Log() *ServiceLog { return &m.log }
+
+// ResetStats starts a new measurement window.
+func (m *MySQL) ResetStats() {
+	m.Node.ResetStats()
+	m.log.Reset(m.env.Now())
+}

@@ -1,0 +1,89 @@
+// Package tier models the four server types of the paper's RUBBoS
+// deployment — Apache (web), Tomcat (application), C-JDBC (database
+// clustering middleware), and MySQL (database) — at the level of detail the
+// paper's phenomena require: thread pools, connection pools, per-tier CPU
+// demands, JVM garbage collection, scheduling overhead, and Apache's
+// lingering close.
+//
+// A request is carried by a single simulation process end to end (the
+// emulated browser's process), acquiring and releasing pool units as it
+// flows down and back up the tiers — the synchronous RPC chain of Fig. 9.
+package tier
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// sampleMS draws a lognormal service time with the given mean (milliseconds)
+// and coefficient of variation.
+func sampleMS(r *rng.Rand, meanMS, cv float64) time.Duration {
+	if meanMS <= 0 {
+		return 0
+	}
+	ms := r.LogNormalMean(meanMS, cv)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// ServiceLog records per-server residence times during the measurement
+// window — the paper's per-server request logging (Log4j) that feeds
+// Little's-law inference.
+type ServiceLog struct {
+	start time.Duration
+	count uint64
+	sumRT time.Duration
+}
+
+// Reset starts a new measurement window at now.
+func (l *ServiceLog) Reset(now time.Duration) {
+	l.start = now
+	l.count = 0
+	l.sumRT = 0
+}
+
+// Observe records one completed residence of duration rt at time now.
+// Completions before the window start are dropped.
+func (l *ServiceLog) Observe(now, rt time.Duration) {
+	if now < l.start {
+		return
+	}
+	l.count++
+	l.sumRT += rt
+}
+
+// Count returns completions inside the window.
+func (l *ServiceLog) Count() uint64 { return l.count }
+
+// Throughput returns completions per second over the window ending at now.
+func (l *ServiceLog) Throughput(now time.Duration) float64 {
+	elapsed := (now - l.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.count) / elapsed
+}
+
+// MeanRT returns the mean residence time, or 0 with no completions.
+func (l *ServiceLog) MeanRT() time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return time.Duration(uint64(l.sumRT) / l.count)
+}
+
+// Jobs returns the Little's-law estimate of mean concurrent jobs in the
+// server over the window ending at now: L = X * R.
+func (l *ServiceLog) Jobs(now time.Duration) float64 {
+	return l.Throughput(now) * l.MeanRT().Seconds()
+}
+
+// addSpan records a phase on the request's trace, if the carrying process
+// has one attached (see the trace package).
+func addSpan(p *des.Proc, server, phase string, start time.Duration) {
+	if tr, ok := p.Data().(*trace.Trace); ok && tr != nil {
+		tr.Add(server, phase, start, p.Now())
+	}
+}

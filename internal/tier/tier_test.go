@@ -1,0 +1,382 @@
+package tier
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/hw"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/rubbos"
+)
+
+func testInteraction() *rubbos.Interaction {
+	return &rubbos.Interaction{
+		Name: "test", ApacheMS: 0.5, ServletMS: 2.0, Queries: 2,
+		CJDBCMS: 0.4, MySQLMS: 1.0, CV: 0, AllocTomcatMiB: 0.1, AllocCJDBCMiB: 0.05,
+	}
+}
+
+func TestServiceLog(t *testing.T) {
+	var l ServiceLog
+	l.Reset(10 * time.Second)
+	l.Observe(5*time.Second, time.Second) // before window: dropped
+	l.Observe(12*time.Second, 100*time.Millisecond)
+	l.Observe(14*time.Second, 300*time.Millisecond)
+	if l.Count() != 2 {
+		t.Fatalf("count %d, want 2", l.Count())
+	}
+	if got := l.MeanRT(); got != 200*time.Millisecond {
+		t.Errorf("mean RT %v, want 200ms", got)
+	}
+	if got := l.Throughput(20 * time.Second); got != 0.2 {
+		t.Errorf("throughput %v, want 0.2", got)
+	}
+	// L = X*R = 0.2 * 0.2s = 0.04
+	if got := l.Jobs(20 * time.Second); got < 0.0399 || got > 0.0401 {
+		t.Errorf("jobs %v, want 0.04", got)
+	}
+}
+
+func TestServiceLogEmpty(t *testing.T) {
+	var l ServiceLog
+	if l.MeanRT() != 0 || l.Throughput(time.Second) != 0 || l.Jobs(time.Second) != 0 {
+		t.Error("empty log should return zeros")
+	}
+}
+
+func TestMySQLQueryConsumesCPU(t *testing.T) {
+	env := des.NewEnv()
+	node := hw.NewNode(env, "mysql1", hw.PC3000())
+	my := NewMySQL(env, node, netsim.Link{Latency: time.Millisecond}, rng.New(1))
+	var rt time.Duration
+	env.Go("q", func(p *des.Proc) {
+		start := p.Now()
+		my.Query(p, testInteraction())
+		rt = p.Now() - start
+	})
+	env.Run(time.Second)
+	// 1ms demand (CV 0) + 2 x 1ms hops = 3ms.
+	if rt != 3*time.Millisecond {
+		t.Errorf("query RT %v, want 3ms", rt)
+	}
+	if my.Log().Count() != 1 {
+		t.Errorf("log count %d, want 1", my.Log().Count())
+	}
+	env.Shutdown()
+}
+
+func newCJDBC(env *des.Env, nBackends int) (*CJDBC, []*MySQL) {
+	var backends []*MySQL
+	for i := 0; i < nBackends; i++ {
+		node := hw.NewNode(env, "mysql", hw.PC3000())
+		backends = append(backends, NewMySQL(env, node, netsim.Link{}, rng.New(uint64(i))))
+	}
+	node := hw.NewNode(env, "cjdbc1", hw.PC3000())
+	cfg := DefaultCJDBCConfig()
+	return NewCJDBC(env, node, cfg, backends, netsim.Link{}, rng.New(9)), backends
+}
+
+func TestCJDBCRoundRobin(t *testing.T) {
+	env := des.NewEnv()
+	c, backends := newCJDBC(env, 2)
+	env.Go("q", func(p *des.Proc) {
+		for i := 0; i < 6; i++ {
+			c.Query(p, testInteraction())
+		}
+	})
+	env.Run(time.Minute)
+	a := backends[0].Log().Count()
+	b := backends[1].Log().Count()
+	if a != 3 || b != 3 {
+		t.Errorf("backend query counts %d/%d, want 3/3", a, b)
+	}
+	env.Shutdown()
+}
+
+func TestCJDBCCheckoutTracksBusyThreads(t *testing.T) {
+	env := des.NewEnv()
+	c, _ := newCJDBC(env, 1)
+	var during int
+	env.Go("q", func(p *des.Proc) {
+		c.Checkout(p)
+		during = c.Busy()
+		c.Query(p, testInteraction())
+		c.Release()
+	})
+	env.Run(time.Minute)
+	if during != 1 {
+		t.Errorf("busy during checkout %d, want 1", during)
+	}
+	if c.Busy() != 0 {
+		t.Errorf("busy after release %d, want 0", c.Busy())
+	}
+	env.Shutdown()
+}
+
+func TestCJDBCReleaseWithoutCheckoutPanics(t *testing.T) {
+	env := des.NewEnv()
+	c, _ := newCJDBC(env, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without Checkout did not panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestOverheadFactor(t *testing.T) {
+	cfg := CJDBCConfig{CtxSwitchCoeff: 0.002, ThrashThreshold: 20, ThrashCoeff: 0.005, MaxOverheadFactor: 1.35}
+	if f := cfg.overheadFactor(1); f != 1 {
+		t.Errorf("factor at 1 = %v, want 1", f)
+	}
+	if f := cfg.overheadFactor(11); f != 1.02 {
+		t.Errorf("factor at 11 = %v, want 1.02 (linear only)", f)
+	}
+	f20 := cfg.overheadFactor(20)
+	f24 := cfg.overheadFactor(24)
+	if f24 <= f20 {
+		t.Errorf("thrash term missing: f(24)=%v <= f(20)=%v", f24, f20)
+	}
+	want := 1 + 0.002*23 + 0.005*16
+	if diff := f24 - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("f(24) = %v, want %v", f24, want)
+	}
+	if f := cfg.overheadFactor(1000); f != 1.35 {
+		t.Errorf("factor at 1000 = %v, want cap 1.35", f)
+	}
+}
+
+func TestCJDBCJVMSlotsIncludeUpstreamConns(t *testing.T) {
+	env := des.NewEnv()
+	c, _ := newCJDBC(env, 1)
+	c.SetUpstreamConns(200)
+	small := c.JVM.PauseEstimate()
+	c.SetUpstreamConns(800)
+	large := c.JVM.PauseEstimate()
+	if large <= small {
+		t.Errorf("GC pause should grow with upstream conns: %v vs %v", small, large)
+	}
+}
+
+func newTomcat(env *des.Env, threads, conns int) (*Tomcat, *CJDBC) {
+	c, _ := newCJDBC(env, 1)
+	node := hw.NewNode(env, "tomcat1", hw.PC3000())
+	cfg := DefaultTomcatConfig(threads, conns)
+	tc := NewTomcat(env, node, cfg, c, netsim.Link{}, rng.New(4))
+	return tc, c
+}
+
+func TestTomcatServesRequest(t *testing.T) {
+	env := des.NewEnv()
+	tc, c := newTomcat(env, 4, 2)
+	done := false
+	env.Go("req", func(p *des.Proc) {
+		tc.Serve(p, testInteraction())
+		done = true
+	})
+	env.Run(time.Minute)
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	if tc.Log().Count() != 1 {
+		t.Errorf("tomcat log count %d", tc.Log().Count())
+	}
+	// 2 queries issued through C-JDBC.
+	if c.Log().Count() != 2 {
+		t.Errorf("cjdbc log count %d, want 2", c.Log().Count())
+	}
+	if tc.Threads.InUse() != 0 || tc.Conns.InUse() != 0 {
+		t.Error("pools not released")
+	}
+	env.Shutdown()
+}
+
+func TestTomcatThreadPoolBounds(t *testing.T) {
+	env := des.NewEnv()
+	tc, _ := newTomcat(env, 2, 2)
+	maxInUse := 0
+	for i := 0; i < 8; i++ {
+		env.Go("req", func(p *des.Proc) {
+			tc.Serve(p, testInteraction())
+			if tc.Threads.InUse() > maxInUse {
+				maxInUse = tc.Threads.InUse()
+			}
+		})
+	}
+	env.Run(time.Minute)
+	if maxInUse > 2 {
+		t.Errorf("threads in use reached %d, capacity 2", maxInUse)
+	}
+	if got := tc.Log().Count(); got != 8 {
+		t.Errorf("served %d, want 8", got)
+	}
+	env.Shutdown()
+}
+
+func TestTomcatConnHeldOnlyDuringQuery(t *testing.T) {
+	env := des.NewEnv()
+	tc, _ := newTomcat(env, 4, 4)
+	st0 := tc.Conns.Stats()
+	env.Go("req", func(p *des.Proc) {
+		tc.Serve(p, testInteraction())
+	})
+	env.Run(time.Minute)
+	st := tc.Conns.Stats()
+	if st.Grants-st0.Grants != 2 {
+		t.Errorf("conn grants %d, want 2 (one per query)", st.Grants-st0.Grants)
+	}
+	env.Shutdown()
+}
+
+func TestTomcatResponseTransferHoldsThread(t *testing.T) {
+	env := des.NewEnv()
+	c, _ := newCJDBC(env, 1)
+	node := hw.NewNode(env, "tomcat1", hw.PC3000())
+	cfgFast := DefaultTomcatConfig(1, 1)
+	cfgFast.ResponseTransferMS = 0
+	fast := NewTomcat(env, node, cfgFast, c, netsim.Link{}, rng.New(4))
+
+	node2 := hw.NewNode(env, "tomcat2", hw.PC3000())
+	cfgSlow := DefaultTomcatConfig(1, 1)
+	cfgSlow.ResponseTransferMS = 50
+	slow := NewTomcat(env, node2, cfgSlow, c, netsim.Link{}, rng.New(4))
+
+	var fastRT, slowRT time.Duration
+	env.Go("fast", func(p *des.Proc) {
+		start := p.Now()
+		fast.Serve(p, testInteraction())
+		fastRT = p.Now() - start
+	})
+	env.Go("slow", func(p *des.Proc) {
+		start := p.Now()
+		slow.Serve(p, testInteraction())
+		slowRT = p.Now() - start
+	})
+	env.Run(time.Minute)
+	if slowRT <= fastRT+30*time.Millisecond {
+		t.Errorf("transfer phase missing: slow %v vs fast %v", slowRT, fastRT)
+	}
+	env.Shutdown()
+}
+
+func newApache(env *des.Env, workers int, fin netsim.FinConfig) (*Apache, *Tomcat) {
+	tc, _ := newTomcat(env, 50, 50)
+	node := hw.NewNode(env, "apache1", hw.PC3000())
+	cfg := ApacheConfig{Workers: workers, Fin: fin}
+	a := NewApache(env, node, cfg, []*Tomcat{tc}, netsim.Link{}, rng.New(5))
+	return a, tc
+}
+
+func TestApacheServesEndToEnd(t *testing.T) {
+	env := des.NewEnv()
+	a, tc := newApache(env, 10, netsim.FinConfig{})
+	done := 0
+	for i := 0; i < 5; i++ {
+		env.Go("req", func(p *des.Proc) {
+			a.Do(p, testInteraction())
+			done++
+		})
+	}
+	env.Run(time.Minute)
+	if done != 5 {
+		t.Fatalf("completed %d, want 5", done)
+	}
+	if tc.Log().Count() != 5 {
+		t.Errorf("tomcat saw %d requests", tc.Log().Count())
+	}
+	if a.Workers.InUse() != 0 {
+		t.Error("workers not released")
+	}
+	env.Shutdown()
+}
+
+func TestApacheFinWaitParksWorker(t *testing.T) {
+	env := des.NewEnv()
+	fin := netsim.FinConfig{
+		BaseMean: time.Millisecond, Knee: 100, TailProbMax: 1, TailSlope: 100,
+		TailMin: 200 * time.Millisecond, TailMax: 200 * time.Millisecond,
+	}
+	a, _ := newApache(env, 10, fin)
+	a.SetFinLoad(1000) // far past knee: every close waits the full tail
+	var rt time.Duration
+	env.Go("req", func(p *des.Proc) {
+		start := p.Now()
+		a.Do(p, testInteraction())
+		rt = p.Now() - start
+	})
+	env.Run(time.Minute)
+	if rt < 200*time.Millisecond {
+		t.Errorf("RT %v should include the 200ms FIN wait", rt)
+	}
+	env.Shutdown()
+}
+
+func TestApacheConnectingCounter(t *testing.T) {
+	env := des.NewEnv()
+	a, tc := newApache(env, 10, netsim.FinConfig{})
+	_ = tc
+	var during int
+	env.Go("watch", func(p *des.Proc) {
+		p.Sleep(500 * time.Microsecond)
+		during = a.Connecting()
+	})
+	env.Go("req", func(p *des.Proc) {
+		a.Do(p, testInteraction())
+	})
+	env.Run(time.Minute)
+	if during != 1 {
+		t.Errorf("connecting counter %d mid-request, want 1", during)
+	}
+	if a.Connecting() != 0 {
+		t.Errorf("connecting counter %d after, want 0", a.Connecting())
+	}
+	env.Shutdown()
+}
+
+func TestApacheTimeline(t *testing.T) {
+	env := des.NewEnv()
+	a, _ := newApache(env, 10, netsim.FinConfig{})
+	a.EnableTimeline(0, time.Second)
+	for i := 0; i < 3; i++ {
+		env.Go("req", func(p *des.Proc) {
+			a.Do(p, testInteraction())
+		})
+	}
+	env.Run(time.Minute)
+	processed, ptTotal, ptConn := a.Timeline()
+	if processed.Count(0) != 3 {
+		t.Errorf("processed in window 0 = %d, want 3", processed.Count(0))
+	}
+	if ptTotal.Mean(0) <= 0 {
+		t.Error("ptTotal not recorded")
+	}
+	if ptConn.Mean(0) <= 0 {
+		t.Error("ptConnecting not recorded")
+	}
+	if ptConn.Mean(0) > ptTotal.Mean(0) {
+		t.Errorf("connecting time %v exceeds total busy %v", ptConn.Mean(0), ptTotal.Mean(0))
+	}
+	env.Shutdown()
+}
+
+func TestApacheRoundRobinAcrossTomcats(t *testing.T) {
+	env := des.NewEnv()
+	c, _ := newCJDBC(env, 1)
+	var tcs []*Tomcat
+	for i := 0; i < 2; i++ {
+		node := hw.NewNode(env, "tomcat", hw.PC3000())
+		tcs = append(tcs, NewTomcat(env, node, DefaultTomcatConfig(10, 10), c, netsim.Link{}, rng.New(uint64(i))))
+	}
+	node := hw.NewNode(env, "apache1", hw.PC3000())
+	a := NewApache(env, node, ApacheConfig{Workers: 10}, tcs, netsim.Link{}, rng.New(6))
+	for i := 0; i < 6; i++ {
+		env.Go("req", func(p *des.Proc) { a.Do(p, testInteraction()) })
+	}
+	env.Run(time.Minute)
+	if tcs[0].Log().Count() != 3 || tcs[1].Log().Count() != 3 {
+		t.Errorf("tomcat loads %d/%d, want 3/3", tcs[0].Log().Count(), tcs[1].Log().Count())
+	}
+	env.Shutdown()
+}

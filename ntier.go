@@ -1,0 +1,153 @@
+// Package ntier is a simulation testbed and auto-tuner for soft-resource
+// allocation in n-tier applications, reproducing "The Impact of Soft
+// Resource Allocation on n-Tier Application Scalability" (Wang et al.,
+// IEEE IPDPS 2011).
+//
+// The package re-exports the library's primary API:
+//
+//   - Build and run RUBBoS-style workloads against simulated 4-tier
+//     topologies (Apache / Tomcat / C-JDBC / MySQL) described by the
+//     paper's #W/#A/#C/#D hardware and Wt-At-Ac soft-allocation notation.
+//   - Measure goodput/badput under SLA thresholds, hardware and
+//     soft-resource utilization, JVM garbage collection, and per-server
+//     request logs.
+//   - Run the paper's three-procedure allocation algorithm (Algorithm 1)
+//     to find the "Goldilocks" soft-resource allocation for a hardware
+//     configuration.
+//
+// Quick start:
+//
+//	hw, _ := ntier.ParseHardware("1/2/1/2")
+//	soft, _ := ntier.ParseSoftAlloc("400-15-6")
+//	res, err := ntier.Run(ntier.RunConfig{
+//		Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: 1},
+//		Users:   6000,
+//	})
+//	fmt.Println(res.Describe())
+package ntier
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/core"
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/sla"
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// Configuration notation (paper §II-A).
+type (
+	// Hardware is a #W/#A/#C/#D provisioning (web / app / middleware / db
+	// server counts).
+	Hardware = testbed.Hardware
+	// SoftAlloc is a Wt-At-Ac soft allocation (Apache workers / Tomcat
+	// threads / Tomcat DB connections, per server).
+	SoftAlloc = testbed.SoftAlloc
+	// TestbedOptions configures a topology build, including ablation
+	// switches (DisableGC, DisableFinWait) and model tuning hooks.
+	TestbedOptions = testbed.Options
+)
+
+// ParseHardware parses "1/2/1/2".
+func ParseHardware(s string) (Hardware, error) { return testbed.ParseHardware(s) }
+
+// ParseSoftAlloc parses "400-15-6".
+func ParseSoftAlloc(s string) (SoftAlloc, error) { return testbed.ParseSoftAlloc(s) }
+
+// Experiments.
+type (
+	// RunConfig describes one measured trial.
+	RunConfig = experiment.RunConfig
+	// Result is the outcome of one trial: SLA collector, per-server
+	// monitoring, optional Apache timeline.
+	Result = experiment.Result
+	// ServerStats is one server's monitoring record.
+	ServerStats = experiment.ServerStats
+	// Curve is a goodput-vs-workload series.
+	Curve = experiment.Curve
+	// AllocPoint pairs a soft allocation with its workload sweep.
+	AllocPoint = experiment.AllocPoint
+	// Table renders figure data as fixed-width text.
+	Table = experiment.Table
+)
+
+// Run executes one trial.
+func Run(cfg RunConfig) (*Result, error) { return experiment.Run(cfg) }
+
+// WorkloadSweep runs the trial at each user count.
+func WorkloadSweep(base RunConfig, users []int) (*Curve, error) {
+	return experiment.WorkloadSweep(base, users)
+}
+
+// AllocSweep sweeps a pool size across workload sweeps; combine with
+// VaryAppThreads, VaryAppConns, or VaryWebThreads.
+func AllocSweep(base RunConfig, users []int, sizes []int, vary func(SoftAlloc, int) SoftAlloc) ([]AllocPoint, error) {
+	return experiment.AllocSweep(base, users, sizes, vary)
+}
+
+// Pool-variation helpers for AllocSweep.
+var (
+	VaryAppThreads = experiment.VaryAppThreads
+	VaryAppConns   = experiment.VaryAppConns
+	VaryWebThreads = experiment.VaryWebThreads
+)
+
+// CurveTable renders curves at one SLA threshold.
+func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {
+	return experiment.CurveTable(title, th, curves...)
+}
+
+// Workload mixes.
+var (
+	// BrowseOnlyMix is RUBBoS's read-only navigation graph.
+	BrowseOnlyMix = rubbos.BrowseOnlyMix
+	// ReadWriteMix adds comment posting and the author workflow.
+	ReadWriteMix = rubbos.ReadWriteMix
+)
+
+// StandardThresholds are the paper's SLA bounds (0.5s, 1s, 2s).
+var StandardThresholds = sla.StandardThresholds
+
+// The allocation algorithm (paper §IV).
+type (
+	// TunerConfig configures Algorithm 1.
+	TunerConfig = core.Config
+	// TunerReport is the algorithm's Table-I style output.
+	TunerReport = core.Report
+)
+
+// Tune runs the three-procedure soft-resource allocation algorithm.
+func Tune(cfg TunerConfig) (*TunerReport, error) { return core.Tune(cfg) }
+
+// Request tracing (set RunConfig.TraceEvery).
+type (
+	// Trace is one request's per-phase record.
+	Trace = trace.Trace
+	// PhaseBreakdown is one row of a where-did-the-time-go analysis.
+	PhaseBreakdown = trace.PhaseBreakdown
+)
+
+// TraceBreakdown aggregates span time by server kind and phase.
+func TraceBreakdown(traces []*Trace) []PhaseBreakdown { return trace.Breakdown(traces) }
+
+// FormatBreakdown renders a breakdown table.
+func FormatBreakdown(bs []PhaseBreakdown) string { return trace.FormatBreakdown(bs) }
+
+// Bottleneck diagnosis (the multi-bottleneck analysis the paper defers to
+// future work; set RunConfig.WindowUtil to collect the input series).
+type (
+	// Diagnosis classifies a trial's saturation pattern.
+	Diagnosis = core.Diagnosis
+	// BottleneckConfig tunes the classifier.
+	BottleneckConfig = core.BottleneckConfig
+)
+
+// ClassifyBottlenecks analyzes per-window utilization series.
+func ClassifyBottlenecks(series map[string][]float64, cfg BottleneckConfig) Diagnosis {
+	return core.ClassifyBottlenecks(series, cfg)
+}
+
+// Diagnose runs one monitored trial and classifies its bottleneck pattern.
+func Diagnose(rc RunConfig) (Diagnosis, error) { return core.Diagnose(rc) }

@@ -423,7 +423,7 @@ func BenchmarkExtensionAdaptiveRecovery(b *testing.B) {
 			ccfg := rubbos.DefaultClientConfig(5000)
 			ccfg.RampUp = 10 * time.Second
 			var late uint64
-			if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+			if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
 				if issued >= 60*time.Second {
 					late++
 				}

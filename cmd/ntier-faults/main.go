@@ -1,0 +1,154 @@
+// Command ntier-faults runs named fault-injection scenarios against the
+// simulated n-tier deployment and reports degradation, resilience
+// counters, and recovery time — optionally across several soft
+// allocations (extension beyond the paper; see EXPERIMENTS.md).
+//
+// List the built-in scenarios:
+//
+//	ntier-faults -list
+//
+// Crash one of four application servers and watch the fail-over:
+//
+//	ntier-faults -scenario crash-tomcat -hw 1/4/1/4 -soft 400-15-6 -wl 3000
+//
+// Compare a retry storm across soft allocations, with a per-second
+// timeline CSV per allocation:
+//
+//	ntier-faults -scenario retry-storm -soft 400-15-6,400-15-12 -wl 5000 -csv storm.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-faults", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the built-in fault scenarios")
+		scenario = fs.String("scenario", "", "scenario to run (see -list)")
+		hwS      = fs.String("hw", "1/4/1/4", "hardware configuration #W/#A/#C/#D")
+		softS    = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
+		users    = fs.Int("wl", 3000, "workload (emulated users)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		ramp     = fs.Duration("ramp", 15*time.Second, "ramp-up period (simulated)")
+		measure  = fs.Duration("measure", 0, "measured runtime (simulated; 0 = scenario default)")
+		thS      = fs.Duration("sla", 0, "goodput threshold for the timeline (0 = scenario default)")
+		csvPath  = fs.String("csv", "", "write the per-second timeline CSV to this file (per allocation)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "built-in fault scenarios:")
+		for _, sc := range ntier.Scenarios() {
+			fmt.Fprintf(stdout, "  %-16s %s\n", sc.Name, sc.Description)
+		}
+		return 0
+	}
+	if *scenario == "" {
+		return cli.Fail(fs, fmt.Errorf("-scenario: required (run -list for the catalogue)"))
+	}
+	sc, err := ntier.ScenarioByName(*scenario)
+	if err != nil {
+		return cli.Fail(fs, fmt.Errorf("-scenario: %w", err))
+	}
+	hw, err := cli.ParseHardware(*hwS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	allocs, err := cli.ParseSoftAllocs(*softS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	if *users <= 0 {
+		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
+	}
+
+	for _, soft := range allocs {
+		base := ntier.RunConfig{
+			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
+			Users:   *users,
+			RampUp:  *ramp,
+			Measure: *measure,
+		}
+		cfg := sc.Configure(base)
+		if *thS > 0 {
+			cfg.GoodputThreshold = *thS
+		}
+		sr, err := ntier.RunScenario(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		printScenario(stdout, sc.Name, sr)
+		if *csvPath != "" {
+			path := allocCSVPath(*csvPath, soft.String(), len(allocs) > 1)
+			if err := writeTimeline(path, sr); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "timeline written to %s\n", path)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func printScenario(w io.Writer, name string, sr *ntier.ScenarioResult) {
+	fmt.Fprintf(w, "=== %s  soft %s ===\n", name, sr.Config.Run.Testbed.Soft)
+	fmt.Fprintln(w, sr.Describe())
+	if sr.PreFaultGoodput > 0 {
+		fmt.Fprintf(w, "pre-fault goodput %.1f req/s", sr.PreFaultGoodput)
+		if sr.RecoveryTime >= 0 {
+			fmt.Fprintf(w, ", recovered at +%v (%v after last fault end)",
+				sr.RecoveredAt.Round(time.Second), sr.RecoveryTime.Round(time.Second))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "mean effective C-JDBC concurrency %.2f\n", sr.MeanCJDBCBusy)
+	res := sr.TotalResilience()
+	fmt.Fprintf(w, "resilience: shed %d, acquire-timeouts %d, call-timeouts %d, retries %d, failures %d, breaker opens %d\n",
+		res.Shed, res.AcquireTimeouts, res.CallTimeouts, res.Retries, res.Failures, res.BreakerOpens)
+	if len(sr.Records) > 0 {
+		fmt.Fprintln(w, "faults applied:")
+		for _, r := range sr.Records {
+			fmt.Fprintf(w, "  %v\n", r)
+		}
+	}
+}
+
+// allocCSVPath derives the per-allocation CSV file name: with several
+// allocations the Wt-At-Ac string is inserted before the extension.
+func allocCSVPath(path, soft string, many bool) string {
+	if !many {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "-" + soft + ext
+}
+
+func writeTimeline(path string, sr *ntier.ScenarioResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sr.WriteTimelineCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -13,37 +13,49 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"strconv"
-	"strings"
+	"io"
+	"os"
 	"time"
 
 	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
 )
 
 func main() {
-	var (
-		hwS     = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
-		softS   = flag.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
-		wlS     = flag.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		ramp    = flag.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
-		measure = flag.Duration("measure", 60*time.Second, "measured runtime (simulated)")
-		vary    = flag.String("vary", "", "pool to sweep: threads, conns, or web")
-		sizesS  = flag.String("sizes", "", "comma-separated pool sizes for -vary")
-		thS     = flag.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
-		noGC    = flag.Bool("no-gc", false, "ablation: disable the JVM GC model")
-		noFin   = flag.Bool("no-finwait", false, "ablation: disable Apache lingering close")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	hw, err := ntier.ParseHardware(*hwS)
-	if err != nil {
-		log.Fatal(err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		hwS     = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS   = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
+		wlS     = fs.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		ramp    = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		vary    = fs.String("vary", "", "pool to sweep: threads, conns, or web")
+		sizesS  = fs.String("sizes", "", "comma-separated pool sizes for -vary")
+		thS     = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
+		noGC    = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	users, err := parseWorkloads(*wlS)
+
+	hw, err := cli.ParseHardware(*hwS)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Fail(fs, err)
+	}
+	users, err := cli.ParseWorkloads(*wlS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	allocs, err := cli.ParseSoftAllocs(*softS)
+	if err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	base := ntier.RunConfig{
@@ -59,14 +71,10 @@ func main() {
 
 	var curves []*ntier.Curve
 	if *vary != "" {
-		soft, err := ntier.ParseSoftAlloc(strings.Split(*softS, ",")[0])
-		if err != nil {
-			log.Fatal(err)
-		}
-		base.Testbed.Soft = soft
-		sizes, err := parseInts(*sizesS)
+		base.Testbed.Soft = allocs[0]
+		sizes, err := cli.ParseInts(*sizesS)
 		if err != nil || len(sizes) == 0 {
-			log.Fatalf("-vary needs -sizes (got %q)", *sizesS)
+			return cli.Fail(fs, fmt.Errorf("-vary needs -sizes (got %q)", *sizesS))
 		}
 		var fn func(ntier.SoftAlloc, int) ntier.SoftAlloc
 		switch *vary {
@@ -77,74 +85,36 @@ func main() {
 		case "web":
 			fn = ntier.VaryWebThreads
 		default:
-			log.Fatalf("unknown -vary %q (want threads, conns, or web)", *vary)
+			return cli.Fail(fs, fmt.Errorf("-vary: unknown pool %q (want threads, conns, or web)", *vary))
 		}
 		points, err := ntier.AllocSweep(base, users, sizes, fn)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		for _, p := range points {
 			curves = append(curves, p.Curve)
 		}
-		fmt.Printf("max throughput per allocation (%s sweep):\n", *vary)
+		fmt.Fprintf(stdout, "max throughput per allocation (%s sweep):\n", *vary)
 		for _, p := range points {
-			fmt.Printf("  %-14s maxTP %8.1f  maxGoodput(%v) %8.1f\n",
+			fmt.Fprintf(stdout, "  %-14s maxTP %8.1f  maxGoodput(%v) %8.1f\n",
 				p.Soft, p.Curve.MaxThroughput(), *thS, p.Curve.MaxGoodput(*thS))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	} else {
-		for _, s := range strings.Split(*softS, ",") {
-			soft, err := ntier.ParseSoftAlloc(strings.TrimSpace(s))
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, soft := range allocs {
 			cfg := base
 			cfg.Testbed.Soft = soft
 			curve, err := ntier.WorkloadSweep(cfg, users)
 			if err != nil {
-				log.Fatal(err)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			curves = append(curves, curve)
 		}
 	}
 
 	title := fmt.Sprintf("goodput [req/s] within %v", *thS)
-	fmt.Print(ntier.CurveTable(title, *thS, curves...).String())
-}
-
-func parseWorkloads(s string) ([]int, error) {
-	if strings.Contains(s, ":") {
-		parts := strings.Split(s, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("range must be lo:hi:step, got %q", s)
-		}
-		lo, err1 := strconv.Atoi(parts[0])
-		hi, err2 := strconv.Atoi(parts[1])
-		step, err3 := strconv.Atoi(parts[2])
-		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
-			return nil, fmt.Errorf("bad range %q", s)
-		}
-		var out []int
-		for n := lo; n <= hi; n += step {
-			out = append(out, n)
-		}
-		return out, nil
-	}
-	return parseInts(s)
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		n, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
+	fmt.Fprint(stdout, ntier.CurveTable(title, *thS, curves...).String())
+	return 0
 }

@@ -11,36 +11,48 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
 	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
 )
 
 func main() {
-	var (
-		hwS     = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
-		softS   = flag.String("soft", "400-15-6", "soft allocation Wt-At-Ac (Apache workers, Tomcat threads, DB conns)")
-		users   = flag.Int("wl", 6000, "workload (emulated users)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		ramp    = flag.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
-		measure = flag.Duration("measure", 60*time.Second, "measured runtime (simulated)")
-		mix     = flag.String("mix", "browse", "workload mix: browse or rw")
-		noGC    = flag.Bool("no-gc", false, "ablation: disable the JVM GC model")
-		noFin   = flag.Bool("no-finwait", false, "ablation: disable Apache lingering close")
-		traceN  = flag.Uint64("trace", 0, "sample one request in N for phase tracing (0 = off)")
-		diag    = flag.Bool("diagnose", false, "classify the bottleneck pattern from windowed utilization")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	hw, err := ntier.ParseHardware(*hwS)
-	if err != nil {
-		log.Fatal(err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		hwS     = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS   = fs.String("soft", "400-15-6", "soft allocation Wt-At-Ac (Apache workers, Tomcat threads, DB conns)")
+		users   = fs.Int("wl", 6000, "workload (emulated users)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		ramp    = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		mix     = fs.String("mix", "browse", "workload mix: browse or rw")
+		noGC    = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+		traceN  = fs.Uint64("trace", 0, "sample one request in N for phase tracing (0 = off)")
+		diag    = fs.Bool("diagnose", false, "classify the bottleneck pattern from windowed utilization")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	soft, err := ntier.ParseSoftAlloc(*softS)
+
+	hw, err := cli.ParseHardware(*hwS)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Fail(fs, err)
+	}
+	soft, err := cli.ParseSoftAlloc(*softS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	if *users <= 0 {
+		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
 	}
 	cfg := ntier.RunConfig{
 		Testbed: ntier.TestbedOptions{
@@ -62,15 +74,16 @@ func main() {
 	case "rw":
 		cfg.Mix = ntier.ReadWriteMix()
 	default:
-		log.Fatalf("unknown mix %q (want browse or rw)", *mix)
+		return cli.Fail(fs, fmt.Errorf("-mix: unknown mix %q (want browse or rw)", *mix))
 	}
 
 	res, err := ntier.Run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Println(res.Describe())
-	fmt.Println()
+	fmt.Fprintln(stdout, res.Describe())
+	fmt.Fprintln(stdout)
 
 	tbl := &ntier.Table{
 		Title:   "per-server monitoring",
@@ -93,16 +106,17 @@ func main() {
 			fmt.Sprintf("%.1f", s.TP),
 			fmt.Sprintf("%.1f", s.Jobs))
 	}
-	fmt.Fprint(os.Stdout, tbl.String())
+	fmt.Fprint(stdout, tbl.String())
 
 	if *traceN > 0 && len(res.Traces) > 0 {
-		fmt.Println("\nper-request phase breakdown (sampled traces):")
-		fmt.Print(ntier.FormatBreakdown(ntier.TraceBreakdown(res.Traces)))
-		fmt.Println("\nlast sampled request:")
-		fmt.Print(res.Traces[len(res.Traces)-1].String())
+		fmt.Fprintln(stdout, "\nper-request phase breakdown (sampled traces):")
+		fmt.Fprint(stdout, ntier.FormatBreakdown(ntier.TraceBreakdown(res.Traces)))
+		fmt.Fprintln(stdout, "\nlast sampled request:")
+		fmt.Fprint(stdout, res.Traces[len(res.Traces)-1].String())
 	}
 	if *diag {
-		fmt.Println()
-		fmt.Print(ntier.ClassifyBottlenecks(res.UtilSeries, ntier.BottleneckConfig{}).String())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, ntier.ClassifyBottlenecks(res.UtilSeries, ntier.BottleneckConfig{}).String())
 	}
+	return 0
 }

@@ -36,7 +36,7 @@ func run(threads, users int, controlled bool) (float64, int, []adaptive.Decision
 	ccfg := rubbos.DefaultClientConfig(users)
 	ccfg.RampUp = 10 * time.Second
 	var late uint64
-	if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+	if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
 		if issued >= 70*time.Second {
 			late++
 		}

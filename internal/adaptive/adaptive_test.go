@@ -31,7 +31,7 @@ func runAdaptive(t *testing.T, threads int, users int, controlled bool) (float64
 	ccfg.RampUp = 10 * time.Second
 	var count uint64
 	measureStart := 60 * time.Second // give the controller time to converge
-	if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+	if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
 		if issued >= measureStart {
 			count++
 		}

@@ -1,0 +1,108 @@
+// Package cli holds the flag parsing and error handling shared by the
+// ntier command-line tools. All parsers return errors that name the
+// offending value; commands turn those into a usage message and a
+// non-zero exit through Fail.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// Fail reports a bad invocation: it prints the error and the flag set's
+// usage to the set's output and returns the conventional exit code 2.
+func Fail(fs *flag.FlagSet, err error) int {
+	fmt.Fprintf(fs.Output(), "%s: %v\n", fs.Name(), err)
+	fs.Usage()
+	return 2
+}
+
+// ParseHardware parses a -hw value ("1/2/1/2").
+func ParseHardware(s string) (testbed.Hardware, error) {
+	hw, err := testbed.ParseHardware(s)
+	if err != nil {
+		return hw, fmt.Errorf("-hw: %w", err)
+	}
+	return hw, nil
+}
+
+// ParseSoftAlloc parses a single -soft value ("400-15-6").
+func ParseSoftAlloc(s string) (testbed.SoftAlloc, error) {
+	soft, err := testbed.ParseSoftAlloc(strings.TrimSpace(s))
+	if err != nil {
+		return soft, fmt.Errorf("-soft: %w", err)
+	}
+	return soft, nil
+}
+
+// ParseSoftAllocs parses a comma-separated -soft list
+// ("400-6-6,400-15-6"). Empty segments are rejected, not skipped: a
+// trailing comma is a typo worth flagging.
+func ParseSoftAllocs(s string) ([]testbed.SoftAlloc, error) {
+	var out []testbed.SoftAlloc
+	for _, part := range strings.Split(s, ",") {
+		soft, err := ParseSoftAlloc(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, soft)
+	}
+	return out, nil
+}
+
+// ParseWorkloads parses a -wl value: either a comma list ("5000,5600")
+// or an inclusive range with step ("5000:6800:400").
+func ParseWorkloads(s string) ([]int, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-wl: range must be lo:hi:step, got %q", s)
+		}
+		lo, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		step, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("-wl: bad range %q (want lo:hi:step with step>0, hi>=lo)", s)
+		}
+		var out []int
+		for n := lo; n <= hi; n += step {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	out, err := ParseInts(s)
+	if err != nil {
+		return nil, fmt.Errorf("-wl: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-wl: empty workload list %q", s)
+	}
+	for _, n := range out {
+		if n <= 0 {
+			return nil, fmt.Errorf("-wl: workload must be positive, got %d", n)
+		}
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated integer list, skipping empty
+// segments.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

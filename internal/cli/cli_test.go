@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseErrors is the shared malformed-flag test for every ntier
+// command: each parser must reject the junk values with an error that
+// names the flag, so the commands can exit non-zero with usage.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		parse func(string) error
+		bad   []string
+	}{
+		{
+			name:  "-hw",
+			parse: func(s string) error { _, err := ParseHardware(s); return err },
+			bad:   []string{"", "1/2/1", "1/2/1/2/3", "a/2/1/2", "0/2/1/2", "-1/2/1/2", "1-2-1-2"},
+		},
+		{
+			name:  "-soft",
+			parse: func(s string) error { _, err := ParseSoftAlloc(s); return err },
+			bad:   []string{"", "400-15", "400-15-6-1", "x-15-6", "400/15/6", "0-15-6"},
+		},
+		{
+			name:  "-soft list",
+			parse: func(s string) error { _, err := ParseSoftAllocs(s); return err },
+			bad:   []string{"", "400-15-6,", ",400-15-6", "400-15-6,junk"},
+		},
+		{
+			name:  "-wl",
+			parse: func(s string) error { _, err := ParseWorkloads(s); return err },
+			bad:   []string{"", "1:2", "1:2:3:4", "a:2:3", "5:1:1", "1:5:0", "1:5:-1", "x,y", "0", "-5", ","},
+		},
+	}
+	for _, tc := range cases {
+		for _, bad := range tc.bad {
+			err := tc.parse(bad)
+			if err == nil {
+				t.Errorf("%s: accepted %q", tc.name, bad)
+				continue
+			}
+			if !strings.Contains(err.Error(), "-hw") && !strings.Contains(err.Error(), "-soft") &&
+				!strings.Contains(err.Error(), "-wl") {
+				t.Errorf("%s: error for %q does not name a flag: %v", tc.name, bad, err)
+			}
+		}
+	}
+}
+
+func TestParseOK(t *testing.T) {
+	if hw, err := ParseHardware("1/4/1/4"); err != nil || hw.App != 4 || hw.DB != 4 {
+		t.Errorf("ParseHardware: %+v, %v", hw, err)
+	}
+	if soft, err := ParseSoftAlloc(" 400-15-6 "); err != nil || soft.AppThreads != 15 {
+		t.Errorf("ParseSoftAlloc: %+v, %v", soft, err)
+	}
+	if allocs, err := ParseSoftAllocs("400-6-6, 400-15-6"); err != nil || len(allocs) != 2 {
+		t.Errorf("ParseSoftAllocs: %+v, %v", allocs, err)
+	}
+	if wl, err := ParseWorkloads("5000:6200:400"); err != nil || len(wl) != 4 || wl[3] != 6200 {
+		t.Errorf("ParseWorkloads range: %v, %v", wl, err)
+	}
+	if wl, err := ParseWorkloads("100, 200,300"); err != nil || len(wl) != 3 {
+		t.Errorf("ParseWorkloads list: %v, %v", wl, err)
+	}
+	if ints, err := ParseInts("1,,2, 3"); err != nil || len(ints) != 3 {
+		t.Errorf("ParseInts: %v, %v", ints, err)
+	}
+}
+
+func TestFail(t *testing.T) {
+	var buf strings.Builder
+	fs := flag.NewFlagSet("ntier-test", flag.ContinueOnError)
+	fs.SetOutput(&buf)
+	fs.String("hw", "", "hardware")
+	if code := Fail(fs, fmt.Errorf("-hw: bad value")); code != 2 {
+		t.Errorf("Fail returned %d, want 2", code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ntier-test: -hw: bad value") {
+		t.Errorf("Fail output missing error: %q", out)
+	}
+	if !strings.Contains(out, "Usage") && !strings.Contains(out, "-hw") {
+		t.Errorf("Fail output missing usage: %q", out)
+	}
+}

@@ -13,6 +13,7 @@ package des
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,7 +29,10 @@ type Env struct {
 	yield   chan struct{} // process -> scheduler handoff
 	kill    chan struct{} // closed by Shutdown to unwind parked processes
 	stopped bool
-	procs   int // processes started and not yet finished
+	// procs counts processes started and not yet finished. It is atomic
+	// because Shutdown unwinds parked goroutines concurrently, each
+	// decrementing as it exits while callers may poll Live.
+	procs atomic.Int64
 }
 
 // NewEnv returns an environment with the clock at zero.
@@ -48,7 +52,7 @@ func (e *Env) Pending() int { return len(e.events) }
 
 // Live returns the number of processes that have been started with Go and
 // have not yet returned.
-func (e *Env) Live() int { return e.procs }
+func (e *Env) Live() int { return int(e.procs.Load()) }
 
 // Event is a handle to a scheduled callback, usable to cancel it.
 type Event struct{ ev *event }
@@ -154,12 +158,12 @@ func (p *Proc) Data() any { return p.data }
 // diagnostics only.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, wake: make(chan struct{})}
-	e.procs++
+	e.procs.Add(1)
 	go func() {
 		select {
 		case <-p.wake:
 		case <-e.kill:
-			e.procs-- // never started; no scheduler waiting on us
+			e.procs.Add(-1) // never started; no scheduler waiting on us
 			return
 		}
 		defer func() {
@@ -171,7 +175,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			}
 		}()
 		fn(p)
-		e.procs--
+		e.procs.Add(-1)
 		e.yield <- struct{}{}
 	}()
 	e.At(e.now, func() { e.runProc(p) })
@@ -191,7 +195,7 @@ func (p *Proc) yield() {
 	select {
 	case <-p.wake:
 	case <-p.env.kill:
-		p.env.procs--
+		p.env.procs.Add(-1)
 		panic(killedSentinel{})
 	}
 }

@@ -46,6 +46,29 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 	return cw.Error()
 }
 
+// WriteTimelineCSV writes the fault scenario's per-window series as CSV:
+// completions, goodput, error responses, and effective C-JDBC concurrency.
+func (sr *ScenarioResult) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"second", "completed", "goodput", "errors", "cjdbc_busy"}); err != nil {
+		return err
+	}
+	for _, pt := range sr.Timeline {
+		row := []string{
+			fmt.Sprintf("%.0f", pt.Second),
+			strconv.Itoa(pt.Completed),
+			fmt.Sprintf("%.2f", pt.Goodput),
+			strconv.Itoa(pt.Errors),
+			fmt.Sprintf("%.2f", pt.CJDBCBusy),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteTimelineCSV writes the Fig. 7/8 per-second Apache series as CSV.
 // The result must have been produced with RunConfig.Timeline set.
 func (r *Result) WriteTimelineCSV(w io.Writer) error {

@@ -14,6 +14,7 @@ import (
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/sla"
 	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/tier"
 	"github.com/softres/ntier/internal/trace"
 )
 
@@ -83,6 +84,10 @@ type ServerStats struct {
 	RTT  time.Duration
 	TP   float64
 	Jobs float64 // Little's-law estimate X*R
+
+	// Resilience holds shed/retry/timeout/breaker counters when the tier
+	// has a resilience layer attached (nil otherwise).
+	Resilience *tier.ResilienceStats
 }
 
 // Pool returns the named pool's stats, or nil.
@@ -111,6 +116,10 @@ type Result struct {
 	Config RunConfig
 
 	SLA *sla.Collector
+
+	// Errors counts requests answered with an error or degraded response
+	// during the measurement window (0 in a fault-free trial).
+	Errors uint64
 
 	Apache, Tomcat, CJDBC, MySQL []ServerStats
 
@@ -185,10 +194,17 @@ func Run(cfg RunConfig) (*Result, error) {
 		tracer = trace.NewTracer(cfg.TraceEvery, cfg.TraceKeep)
 		ccfg.Tracer = tracer
 	}
-	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
-		if issued >= measureStart {
-			collector.Observe(rt)
+	var errCount uint64
+	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, rerr error) {
+		if issued < measureStart {
+			return
 		}
+		if rerr != nil {
+			// Error responses are not goodput; count them separately.
+			errCount++
+			return
+		}
+		collector.Observe(rt)
 	})
 	if err != nil {
 		return nil, err
@@ -212,45 +228,8 @@ func Run(cfg RunConfig) (*Result, error) {
 	tb.Env.Run(horizon)
 
 	collector.SetElapsed(cfg.Measure)
-	res := &Result{Config: cfg, SLA: collector}
-	now := tb.Env.Now()
-
-	for _, a := range tb.Apaches {
-		res.Apache = append(res.Apache, ServerStats{
-			Name: a.Node.Name(), Tier: "apache",
-			CPUUtil: a.Node.Utilization(),
-			Pools:   []resource.PoolStats{a.Workers.Stats()},
-			RTT:     a.Log().MeanRT(), TP: a.Log().Throughput(now), Jobs: a.Log().Jobs(now),
-		})
-	}
-	for _, tc := range tb.Tomcats {
-		res.Tomcat = append(res.Tomcat, ServerStats{
-			Name: tc.Node.Name(), Tier: "tomcat",
-			CPUUtil: tc.Node.Utilization(),
-			GC:      tc.JVM.Stats(),
-			Pools:   []resource.PoolStats{tc.Threads.Stats(), tc.Conns.Stats()},
-			RTT:     tc.Log().MeanRT(), TP: tc.Log().Throughput(now), Jobs: tc.Log().Jobs(now),
-		})
-	}
-	for _, c := range tb.CJDBCs {
-		res.CJDBC = append(res.CJDBC, ServerStats{
-			Name: c.Node.Name(), Tier: "cjdbc",
-			CPUUtil: c.Node.Utilization(),
-			GC:      c.JVM.Stats(),
-			RTT:     c.Log().MeanRT(), TP: c.Log().Throughput(now), Jobs: c.Log().Jobs(now),
-		})
-	}
-	for _, m := range tb.MySQLs {
-		st := ServerStats{
-			Name: m.Node.Name(), Tier: "mysql",
-			CPUUtil: m.Node.Utilization(),
-			RTT:     m.Log().MeanRT(), TP: m.Log().Throughput(now), Jobs: m.Log().Jobs(now),
-		}
-		if d := m.Node.Disk(); d != nil {
-			st.DiskUtil = d.Utilization()
-		}
-		res.MySQL = append(res.MySQL, st)
-	}
+	res := &Result{Config: cfg, SLA: collector, Errors: errCount}
+	res.Apache, res.Tomcat, res.CJDBC, res.MySQL = collectStats(tb)
 
 	if cfg.Timeline && len(tb.Apaches) > 0 {
 		a := tb.Apaches[0]
@@ -274,6 +253,51 @@ func Run(cfg RunConfig) (*Result, error) {
 		res.Traces = tracer.Traces()
 	}
 	return res, nil
+}
+
+// collectStats reads every server's monitors for the window that started at
+// the last ResetStats (shared by Run and RunScenario).
+func collectStats(tb *testbed.Testbed) (apache, tomcat, cjdbc, mysql []ServerStats) {
+	now := tb.Env.Now()
+	for _, a := range tb.Apaches {
+		apache = append(apache, ServerStats{
+			Name: a.Node.Name(), Tier: "apache",
+			CPUUtil: a.Node.Utilization(),
+			Pools:   []resource.PoolStats{a.Workers.Stats()},
+			RTT:     a.Log().MeanRT(), TP: a.Log().Throughput(now), Jobs: a.Log().Jobs(now),
+			Resilience: a.Resilience(),
+		})
+	}
+	for _, tc := range tb.Tomcats {
+		tomcat = append(tomcat, ServerStats{
+			Name: tc.Node.Name(), Tier: "tomcat",
+			CPUUtil: tc.Node.Utilization(),
+			GC:      tc.JVM.Stats(),
+			Pools:   []resource.PoolStats{tc.Threads.Stats(), tc.Conns.Stats()},
+			RTT:     tc.Log().MeanRT(), TP: tc.Log().Throughput(now), Jobs: tc.Log().Jobs(now),
+			Resilience: tc.Resilience(),
+		})
+	}
+	for _, c := range tb.CJDBCs {
+		cjdbc = append(cjdbc, ServerStats{
+			Name: c.Node.Name(), Tier: "cjdbc",
+			CPUUtil: c.Node.Utilization(),
+			GC:      c.JVM.Stats(),
+			RTT:     c.Log().MeanRT(), TP: c.Log().Throughput(now), Jobs: c.Log().Jobs(now),
+		})
+	}
+	for _, m := range tb.MySQLs {
+		st := ServerStats{
+			Name: m.Node.Name(), Tier: "mysql",
+			CPUUtil: m.Node.Utilization(),
+			RTT:     m.Log().MeanRT(), TP: m.Log().Throughput(now), Jobs: m.Log().Jobs(now),
+		}
+		if d := m.Node.Disk(); d != nil {
+			st.DiskUtil = d.Utilization()
+		}
+		mysql = append(mysql, st)
+	}
+	return apache, tomcat, cjdbc, mysql
 }
 
 // utilSampler diffs each node's busy integral once per second, producing

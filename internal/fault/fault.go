@@ -1,0 +1,318 @@
+// Package fault injects deterministic faults into a simulated n-tier
+// deployment. A Plan is a declarative schedule of timed events — node
+// crashes, CPU brown-outs, network latency spikes, connection leaks — and
+// the Injector replays it on the DES clock against the Targets exposed by
+// the topology layer. Everything is driven by simulated time and seeded
+// randomness, so a scenario replays byte-identically under the same seed.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/rng"
+)
+
+// Kind enumerates the fault types the injector can apply.
+type Kind int
+
+const (
+	// KindCrash takes a server down (it refuses all work) and restarts it
+	// at the event's end.
+	KindCrash Kind = iota
+	// KindBrownout scales a node's CPU speed by Event.Speed (0 stops the
+	// clock entirely), restoring full speed at the event's end.
+	KindBrownout
+	// KindNetSpike adds Event.Extra latency to every traversal of the
+	// target link until the event ends.
+	KindNetSpike
+	// KindConnLeak bleeds Event.Units units out of the target pool
+	// (connections checked out and never returned), restoring them at the
+	// event's end.
+	KindConnLeak
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindBrownout:
+		return "brownout"
+	case KindNetSpike:
+		return "netspike"
+	case KindConnLeak:
+		return "connleak"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timed fault. Start and End are offsets from the schedule
+// base (typically the start of the measurement window); End == 0 means the
+// fault never reverts.
+type Event struct {
+	Kind   Kind
+	Target string // node name, pool path ("tomcat1/conns"), or link name
+	Start  time.Duration
+	End    time.Duration
+
+	Speed float64       // KindBrownout: CPU speed factor in (0, 1]; 0 = stop
+	Extra time.Duration // KindNetSpike: added per-hop latency
+	Units int           // KindConnLeak: pool units to leak
+}
+
+// String renders the event for scenario reports.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s @%v", e.Kind, e.Target, e.Start)
+	if e.End > 0 {
+		s += fmt.Sprintf("..%v", e.End)
+	}
+	switch e.Kind {
+	case KindBrownout:
+		s += fmt.Sprintf(" speed=%.2f", e.Speed)
+	case KindNetSpike:
+		s += fmt.Sprintf(" extra=%v", e.Extra)
+	case KindConnLeak:
+		s += fmt.Sprintf(" units=%d", e.Units)
+	}
+	return s
+}
+
+// Crash builds a crash-and-restart event.
+func Crash(target string, start, end time.Duration) Event {
+	return Event{Kind: KindCrash, Target: target, Start: start, End: end}
+}
+
+// Brownout builds a CPU slow-down event.
+func Brownout(target string, start, end time.Duration, speed float64) Event {
+	return Event{Kind: KindBrownout, Target: target, Start: start, End: end, Speed: speed}
+}
+
+// NetSpike builds a network latency-spike event.
+func NetSpike(target string, start, end time.Duration, extra time.Duration) Event {
+	return Event{Kind: KindNetSpike, Target: target, Start: start, End: end, Extra: extra}
+}
+
+// ConnLeak builds a connection-leak event.
+func ConnLeak(target string, start, end time.Duration, units int) Event {
+	return Event{Kind: KindConnLeak, Target: target, Start: start, End: end, Units: units}
+}
+
+// Plan is a declarative fault schedule.
+type Plan struct {
+	Events []Event
+
+	// JitterFrac, when positive, perturbs each event's start time by a
+	// uniform draw in ±JitterFrac of its offset, from the injector's seeded
+	// stream — deterministic per seed, varied across seeds.
+	JitterFrac float64
+}
+
+// Validate checks the plan's internal consistency (targets are checked
+// against the topology at Schedule time).
+func (pl Plan) Validate() error {
+	for i, e := range pl.Events {
+		if e.Start < 0 {
+			return fmt.Errorf("fault: event %d (%s) starts at negative offset %v", i, e, e.Start)
+		}
+		if e.End != 0 && e.End <= e.Start {
+			return fmt.Errorf("fault: event %d (%s) ends at %v, not after start %v", i, e, e.End, e.Start)
+		}
+		switch e.Kind {
+		case KindBrownout:
+			if e.Speed < 0 || e.Speed > 1 {
+				return fmt.Errorf("fault: event %d (%s) speed %v outside [0,1]", i, e, e.Speed)
+			}
+		case KindNetSpike:
+			if e.Extra <= 0 {
+				return fmt.Errorf("fault: event %d (%s) has no extra latency", i, e)
+			}
+		case KindConnLeak:
+			if e.Units <= 0 {
+				return fmt.Errorf("fault: event %d (%s) leaks %d units", i, e, e.Units)
+			}
+		case KindCrash:
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	if pl.JitterFrac < 0 || pl.JitterFrac >= 1 {
+		return fmt.Errorf("fault: jitter fraction %v outside [0,1)", pl.JitterFrac)
+	}
+	return nil
+}
+
+// LastEnd returns the latest revert offset in the plan (the largest End,
+// or the largest Start for events that never revert).
+func (pl Plan) LastEnd() time.Duration {
+	var last time.Duration
+	for _, e := range pl.Events {
+		t := e.End
+		if t == 0 {
+			t = e.Start
+		}
+		if t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+// FirstStart returns the earliest event offset in the plan.
+func (pl Plan) FirstStart() time.Duration {
+	if len(pl.Events) == 0 {
+		return 0
+	}
+	first := pl.Events[0].Start
+	for _, e := range pl.Events[1:] {
+		if e.Start < first {
+			first = e.Start
+		}
+	}
+	return first
+}
+
+// Downable is any server that can crash and restart.
+type Downable interface {
+	SetDown(down bool)
+}
+
+// Targets maps plan target names onto the mechanisms the injector drives,
+// provided by the topology layer (see testbed.FaultTargets).
+type Targets struct {
+	Nodes  map[string]Downable       // crashable servers by node name
+	CPUs   map[string]*resource.CPU  // brownout targets by node name
+	Pools  map[string]*resource.Pool // leak targets by pool path
+	Spikes map[string]*netsim.Spike  // latency-spike targets by link name
+}
+
+// Record is one applied injector action, for scenario reports.
+type Record struct {
+	At     time.Duration // absolute simulation time
+	Event  Event
+	Revert bool // true when this action reverted the fault
+}
+
+// String renders the record.
+func (r Record) String() string {
+	verb := "apply"
+	if r.Revert {
+		verb = "revert"
+	}
+	return fmt.Sprintf("%8v %s %s %s", r.At.Round(time.Millisecond), verb, r.Event.Kind, r.Event.Target)
+}
+
+// Injector replays fault plans against a set of targets.
+type Injector struct {
+	env     *des.Env
+	targets Targets
+	r       *rng.Rand
+	records []Record
+}
+
+// NewInjector creates an injector. seed feeds the start-time jitter stream;
+// with Plan.JitterFrac == 0 the stream is never consulted.
+func NewInjector(env *des.Env, targets Targets, seed uint64) *Injector {
+	return &Injector{env: env, targets: targets, r: rng.NewStream(seed, "fault-injector")}
+}
+
+// Records returns the actions applied so far, in application order.
+func (inj *Injector) Records() []Record { return inj.records }
+
+// Schedule validates the plan against the targets and arms every event at
+// base+Start (reverting at base+End). It must be called before the
+// simulation reaches base+FirstStart.
+func (inj *Injector) Schedule(base time.Duration, plan Plan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	for i, e := range plan.Events {
+		if err := inj.check(e); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	for _, e := range plan.Events {
+		e := e
+		start, end := e.Start, e.End
+		if plan.JitterFrac > 0 {
+			// Shift the whole window, preserving the fault duration.
+			shift := time.Duration((inj.r.Float64()*2 - 1) * plan.JitterFrac * float64(start))
+			start += shift
+			if end != 0 {
+				end += shift
+			}
+		}
+		inj.env.At(base+start, func() { inj.apply(e) })
+		if end != 0 {
+			inj.env.At(base+end, func() { inj.revert(e) })
+		}
+	}
+	return nil
+}
+
+// check resolves the event's target, erroring when the topology has none.
+func (inj *Injector) check(e Event) error {
+	known := func(names ...string) string {
+		sort.Strings(names)
+		return fmt.Sprintf("%v", names)
+	}
+	switch e.Kind {
+	case KindCrash:
+		if _, ok := inj.targets.Nodes[e.Target]; !ok {
+			return fmt.Errorf("no crashable node %q (have %s)", e.Target, known(keys(inj.targets.Nodes)...))
+		}
+	case KindBrownout:
+		if _, ok := inj.targets.CPUs[e.Target]; !ok {
+			return fmt.Errorf("no CPU %q (have %s)", e.Target, known(keys(inj.targets.CPUs)...))
+		}
+	case KindNetSpike:
+		if _, ok := inj.targets.Spikes[e.Target]; !ok {
+			return fmt.Errorf("no link %q (have %s)", e.Target, known(keys(inj.targets.Spikes)...))
+		}
+	case KindConnLeak:
+		if _, ok := inj.targets.Pools[e.Target]; !ok {
+			return fmt.Errorf("no pool %q (have %s)", e.Target, known(keys(inj.targets.Pools)...))
+		}
+	}
+	return nil
+}
+
+func keys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (inj *Injector) apply(e Event) {
+	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e})
+	switch e.Kind {
+	case KindCrash:
+		inj.targets.Nodes[e.Target].SetDown(true)
+	case KindBrownout:
+		inj.targets.CPUs[e.Target].SetSpeed(e.Speed)
+	case KindNetSpike:
+		inj.targets.Spikes[e.Target].Set(e.Extra)
+	case KindConnLeak:
+		inj.targets.Pools[e.Target].Leak(e.Units)
+	}
+}
+
+func (inj *Injector) revert(e Event) {
+	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e, Revert: true})
+	switch e.Kind {
+	case KindCrash:
+		inj.targets.Nodes[e.Target].SetDown(false)
+	case KindBrownout:
+		inj.targets.CPUs[e.Target].SetSpeed(1)
+	case KindNetSpike:
+		inj.targets.Spikes[e.Target].Set(0)
+	case KindConnLeak:
+		inj.targets.Pools[e.Target].Restore(e.Units)
+	}
+}

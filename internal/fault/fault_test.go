@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/resource"
+)
+
+type fakeServer struct{ down bool }
+
+func (f *fakeServer) SetDown(d bool) { f.down = d }
+
+func testTargets(env *des.Env) (Targets, *fakeServer, *resource.CPU, *resource.Pool, *netsim.Spike) {
+	srv := &fakeServer{}
+	cpu := resource.NewCPU(env, "node1/cpu", 2)
+	pool := resource.NewPool(env, "node1/conns", 4)
+	spike := &netsim.Spike{}
+	return Targets{
+		Nodes:  map[string]Downable{"node1": srv},
+		CPUs:   map[string]*resource.CPU{"node1": cpu},
+		Pools:  map[string]*resource.Pool{"node1/conns": pool},
+		Spikes: map[string]*netsim.Spike{"link": spike},
+	}, srv, cpu, pool, spike
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Events: []Event{{Kind: KindCrash, Target: "x", Start: -time.Second}}},
+		{Events: []Event{{Kind: KindCrash, Target: "x", Start: 2 * time.Second, End: time.Second}}},
+		{Events: []Event{{Kind: KindBrownout, Target: "x", Speed: 1.5}}},
+		{Events: []Event{{Kind: KindNetSpike, Target: "x"}}},
+		{Events: []Event{{Kind: KindConnLeak, Target: "x", Units: 0}}},
+		{Events: []Event{{Kind: Kind(99), Target: "x"}}},
+		{JitterFrac: 1.5},
+	}
+	for i, pl := range bad {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("plan %d should not validate: %+v", i, pl)
+		}
+	}
+	ok := Plan{Events: []Event{
+		Crash("a", 0, 0),
+		Brownout("b", time.Second, 2*time.Second, 0),
+		NetSpike("l", 0, time.Second, time.Millisecond),
+		ConnLeak("p", 0, 0, 3),
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestPlanBounds(t *testing.T) {
+	pl := Plan{Events: []Event{
+		Crash("a", 10*time.Second, 40*time.Second),
+		Brownout("b", 5*time.Second, 20*time.Second, 0.5),
+		Crash("c", 30*time.Second, 0), // never reverts
+	}}
+	if got := pl.FirstStart(); got != 5*time.Second {
+		t.Errorf("FirstStart = %v, want 5s", got)
+	}
+	if got := pl.LastEnd(); got != 40*time.Second {
+		t.Errorf("LastEnd = %v, want 40s", got)
+	}
+	if got := (Plan{}).FirstStart(); got != 0 {
+		t.Errorf("empty plan FirstStart = %v", got)
+	}
+}
+
+func TestScheduleRejectsUnknownTargets(t *testing.T) {
+	env := des.NewEnv()
+	defer env.Shutdown()
+	targets, _, _, _, _ := testTargets(env)
+	inj := NewInjector(env, targets, 1)
+	cases := []Event{
+		Crash("nope", 0, 0),
+		Brownout("nope", 0, 0, 0.5),
+		NetSpike("nope", 0, 0, time.Millisecond),
+		ConnLeak("nope", 0, 0, 1),
+	}
+	for _, e := range cases {
+		err := inj.Schedule(0, Plan{Events: []Event{e}})
+		if err == nil {
+			t.Errorf("%s against missing target should error", e.Kind)
+		} else if !strings.Contains(err.Error(), "nope") {
+			t.Errorf("error does not name the target: %v", err)
+		}
+	}
+}
+
+func TestInjectorAppliesAndReverts(t *testing.T) {
+	env := des.NewEnv()
+	defer env.Shutdown()
+	targets, srv, cpu, pool, spike := testTargets(env)
+	inj := NewInjector(env, targets, 1)
+	plan := Plan{Events: []Event{
+		Crash("node1", time.Second, 3*time.Second),
+		Brownout("node1", time.Second, 3*time.Second, 0.25),
+		NetSpike("link", time.Second, 3*time.Second, 2*time.Millisecond),
+		ConnLeak("node1/conns", time.Second, 3*time.Second, 3),
+	}}
+	if err := inj.Schedule(0, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	env.Run(2 * time.Second) // mid-fault
+	if !srv.down {
+		t.Error("server not down mid-fault")
+	}
+	if got := cpu.Speed(); got != 0.25 {
+		t.Errorf("CPU speed %v mid-fault, want 0.25", got)
+	}
+	if got := spike.Extra(); got != 2*time.Millisecond {
+		t.Errorf("spike extra %v mid-fault, want 2ms", got)
+	}
+	if got := pool.Leaked(); got != 3 {
+		t.Errorf("pool leaked %d mid-fault, want 3", got)
+	}
+
+	env.Run(4 * time.Second) // past revert
+	if srv.down {
+		t.Error("server still down after revert")
+	}
+	if got := cpu.Speed(); got != 1 {
+		t.Errorf("CPU speed %v after revert, want 1", got)
+	}
+	if got := spike.Extra(); got != 0 {
+		t.Errorf("spike extra %v after revert, want 0", got)
+	}
+	if got := pool.Leaked(); got != 0 {
+		t.Errorf("pool leaked %d after revert, want 0", got)
+	}
+
+	recs := inj.Records()
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8 (4 applies + 4 reverts)", len(recs))
+	}
+	for i, r := range recs {
+		if (i >= 4) != r.Revert {
+			t.Errorf("record %d revert=%v out of order: %v", i, r.Revert, r)
+		}
+	}
+}
+
+func TestInjectorJitterDeterministic(t *testing.T) {
+	times := func(seed uint64) string {
+		env := des.NewEnv()
+		defer env.Shutdown()
+		targets, _, _, _, _ := testTargets(env)
+		inj := NewInjector(env, targets, seed)
+		plan := Plan{
+			JitterFrac: 0.5,
+			Events: []Event{
+				Crash("node1", 10*time.Second, 20*time.Second),
+				Brownout("node1", 10*time.Second, 20*time.Second, 0.5),
+			},
+		}
+		if err := inj.Schedule(0, plan); err != nil {
+			t.Fatal(err)
+		}
+		env.Run(time.Minute)
+		return fmt.Sprint(inj.Records())
+	}
+	a, b := times(42), times(42)
+	if a != b {
+		t.Errorf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if c := times(43); c == a {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+}
+
+func TestJitterPreservesDuration(t *testing.T) {
+	env := des.NewEnv()
+	defer env.Shutdown()
+	targets, _, _, _, _ := testTargets(env)
+	inj := NewInjector(env, targets, 9)
+	plan := Plan{
+		JitterFrac: 0.4,
+		Events:     []Event{Crash("node1", 10*time.Second, 15*time.Second)},
+	}
+	if err := inj.Schedule(0, plan); err != nil {
+		t.Fatal(err)
+	}
+	env.Run(time.Minute)
+	recs := inj.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if d := recs[1].At - recs[0].At; d != 5*time.Second {
+		t.Errorf("jitter changed the fault duration: %v, want 5s", d)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Brownout("cjdbc1", 30*time.Second, 90*time.Second, 0.3)
+	s := e.String()
+	for _, want := range []string{"brownout", "cjdbc1", "speed=0.30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}

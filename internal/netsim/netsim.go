@@ -21,16 +21,36 @@ import (
 
 // Link is a fixed-latency network hop between two tiers (1 Gbps LAN in the
 // paper: latency dominates, bandwidth never binds at these request sizes).
+// Link is a value type: copies handed to every tier share the optional
+// Spike pointer, so a fault injector raising the spike slows all hops.
 type Link struct {
 	Latency time.Duration
+	Spike   *Spike
 }
 
 // Traverse delays the calling process by one hop.
 func (l Link) Traverse(p *des.Proc) {
-	if l.Latency > 0 {
-		p.Sleep(l.Latency)
+	d := l.Latency
+	if l.Spike != nil {
+		d += l.Spike.Extra()
+	}
+	if d > 0 {
+		p.Sleep(d)
 	}
 }
+
+// Spike is a mutable extra-latency source for fault injection: every Link
+// copy holding the pointer adds the current extra delay per traversal. The
+// zero value adds nothing.
+type Spike struct {
+	extra time.Duration
+}
+
+// Set replaces the per-hop extra latency (0 clears the spike).
+func (s *Spike) Set(d time.Duration) { s.extra = d }
+
+// Extra returns the current per-hop extra latency.
+func (s *Spike) Extra() time.Duration { return s.extra }
 
 // FinConfig parameterizes the client FIN-reply delay model.
 type FinConfig struct {

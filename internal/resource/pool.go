@@ -11,6 +11,15 @@ import (
 	"github.com/softres/ntier/internal/des"
 )
 
+// waiter is one process queued for a unit. Grant state is decided by the
+// releaser (or the timeout event) before the process resumes.
+type waiter struct {
+	proc    *des.Proc
+	granted bool
+	timer   des.Event
+	timed   bool
+}
+
 // Pool is a counted resource with FIFO blocking acquisition, modeling a
 // thread pool or a connection pool. A unit must be released exactly once per
 // successful acquisition.
@@ -20,13 +29,23 @@ import (
 // fraction of time the pool was saturated (all units busy with waiters
 // queued — the soft-resource analogue of 100% hardware utilization), and
 // waiting-time statistics.
+//
+// Two fault/resilience extensions ride on the same FIFO machinery:
+// AcquireTimeout bounds the queueing delay (the per-hop acquire timeout of
+// the resilience layer), and Leak/Restore model connection-leak faults that
+// bleed units out of the pool without going through a holder.
 type Pool struct {
 	env      *des.Env
 	name     string
 	capacity int
 
 	inUse   int
-	waiters []*des.Proc
+	waiters []*waiter
+
+	// leaked units are counted in inUse but held by no process (a leak
+	// fault); leakPending leaks wait for the next release to swallow.
+	leaked      int
+	leakPending int
 
 	lastChange   time.Duration
 	statsStart   time.Duration
@@ -37,6 +56,7 @@ type Pool struct {
 
 	grants    uint64
 	waited    uint64
+	timeouts  uint64
 	totalWait time.Duration
 	maxQueue  int
 }
@@ -60,11 +80,14 @@ func (pl *Pool) Name() string { return pl.name }
 // Capacity returns the configured number of units.
 func (pl *Pool) Capacity() int { return pl.capacity }
 
-// InUse returns the number of units currently held.
+// InUse returns the number of units currently held (including leaked units).
 func (pl *Pool) InUse() int { return pl.inUse }
 
 // Queued returns the number of processes waiting for a unit.
 func (pl *Pool) Queued() int { return len(pl.waiters) }
+
+// Leaked returns the number of units currently bled out by leak faults.
+func (pl *Pool) Leaked() int { return pl.leaked }
 
 // account integrates occupancy state up to the current time.
 func (pl *Pool) account() {
@@ -83,6 +106,61 @@ func (pl *Pool) account() {
 	pl.lastChange = now
 }
 
+// removeWaiter deletes w from the queue by identity, preserving order.
+func (pl *Pool) removeWaiter(w *waiter) bool {
+	for i, q := range pl.waiters {
+		if q == w {
+			copy(pl.waiters[i:], pl.waiters[i+1:])
+			pl.waiters = pl.waiters[:len(pl.waiters)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// popWaiter grants the head waiter: it is removed from the queue, its
+// timeout (if any) canceled, and its process resumed. The caller has already
+// arranged the unit accounting.
+func (pl *Pool) popWaiter() *waiter {
+	w := pl.waiters[0]
+	copy(pl.waiters, pl.waiters[1:])
+	pl.waiters = pl.waiters[:len(pl.waiters)-1]
+	if w.timed {
+		w.timer.Cancel()
+	}
+	w.granted = true
+	w.proc.Unpark()
+	return w
+}
+
+// enqueue parks the caller at the tail, arming a timeout if d > 0.
+func (pl *Pool) enqueue(p *des.Proc, d time.Duration) *waiter {
+	pl.account()
+	w := &waiter{proc: p}
+	pl.waiters = append(pl.waiters, w)
+	if len(pl.waiters) > pl.maxQueue {
+		pl.maxQueue = len(pl.waiters)
+	}
+	if d > 0 {
+		w.timed = true
+		w.timer = pl.env.After(d, func() { pl.expire(w) })
+	}
+	return w
+}
+
+// expire handles a timeout firing: if the waiter is still queued it is
+// removed and resumed ungranted. A waiter granted at the same instant has
+// already been removed, making this a no-op.
+func (pl *Pool) expire(w *waiter) {
+	if w.granted {
+		return
+	}
+	pl.account()
+	if pl.removeWaiter(w) {
+		w.proc.Unpark()
+	}
+}
+
 // Acquire obtains one unit, blocking the calling process in FIFO order until
 // one is available. It returns the time spent waiting.
 func (pl *Pool) Acquire(p *des.Proc) time.Duration {
@@ -90,11 +168,7 @@ func (pl *Pool) Acquire(p *des.Proc) time.Duration {
 		return 0
 	}
 	start := pl.env.Now()
-	pl.account()
-	pl.waiters = append(pl.waiters, p)
-	if len(pl.waiters) > pl.maxQueue {
-		pl.maxQueue = len(pl.waiters)
-	}
+	pl.enqueue(p, 0)
 	p.Park()
 	// The releaser transferred ownership of a unit to us before Unpark;
 	// inUse has already been kept at its level on our behalf.
@@ -103,6 +177,30 @@ func (pl *Pool) Acquire(p *des.Proc) time.Duration {
 	pl.totalWait += w
 	pl.grants++
 	return w
+}
+
+// AcquireTimeout obtains one unit like Acquire, but gives up after waiting
+// `timeout`. It reports whether a unit was obtained and the time spent
+// waiting. A non-positive timeout blocks indefinitely.
+func (pl *Pool) AcquireTimeout(p *des.Proc, timeout time.Duration) (bool, time.Duration) {
+	if timeout <= 0 {
+		return true, pl.Acquire(p)
+	}
+	if pl.TryAcquire() {
+		return true, 0
+	}
+	start := pl.env.Now()
+	wt := pl.enqueue(p, timeout)
+	p.Park()
+	w := pl.env.Now() - start
+	if !wt.granted {
+		pl.timeouts++
+		return false, w
+	}
+	pl.waited++
+	pl.totalWait += w
+	pl.grants++
+	return true, w
 }
 
 // TryAcquire obtains a unit without blocking, returning false if none is
@@ -118,22 +216,70 @@ func (pl *Pool) TryAcquire() bool {
 }
 
 // Release returns one unit to the pool, handing it directly to the oldest
-// waiter if any. It panics if no unit is held.
+// waiter if any. It panics if no unit is held. A pending leak fault swallows
+// the unit instead (the connection died in the holder's hands).
 func (pl *Pool) Release() {
 	if pl.inUse <= 0 {
 		panic(fmt.Sprintf("resource: pool %q released with none in use", pl.name))
 	}
 	pl.account()
+	if pl.leakPending > 0 {
+		// The unit transfers to the fault: occupancy stays constant.
+		pl.leakPending--
+		pl.leaked++
+		return
+	}
 	if len(pl.waiters) > 0 && pl.inUse <= pl.capacity {
 		// Transfer the unit: occupancy stays constant, waiter resumes.
-		w := pl.waiters[0]
-		copy(pl.waiters, pl.waiters[1:])
-		pl.waiters = pl.waiters[:len(pl.waiters)-1]
-		w.Unpark()
+		pl.popWaiter()
 		return
 	}
 	// No waiter, or the pool is draining toward a smaller capacity.
 	pl.inUse--
+}
+
+// Leak bleeds n units out of the pool — a connection-leak fault. Free units
+// are taken immediately; the remainder become pending and swallow the next
+// releases. Leaked units count as in use until Restore returns them.
+func (pl *Pool) Leak(n int) {
+	if n <= 0 {
+		return
+	}
+	pl.account()
+	for ; n > 0; n-- {
+		if pl.inUse < pl.capacity && len(pl.waiters) == 0 {
+			pl.inUse++
+			pl.leaked++
+		} else {
+			pl.leakPending++
+		}
+	}
+}
+
+// Restore undoes up to n leaked units (the leak fault healing): pending
+// leaks are canceled first, then leaked units return to the pool, going to
+// queued waiters in FIFO order.
+func (pl *Pool) Restore(n int) {
+	if n <= 0 {
+		return
+	}
+	pl.account()
+	if pl.leakPending > 0 {
+		m := pl.leakPending
+		if m > n {
+			m = n
+		}
+		pl.leakPending -= m
+		n -= m
+	}
+	for ; n > 0 && pl.leaked > 0; n-- {
+		pl.leaked--
+		if len(pl.waiters) > 0 && pl.inUse <= pl.capacity {
+			pl.popWaiter()
+			continue
+		}
+		pl.inUse--
+	}
 }
 
 // Resize changes the pool's capacity at runtime — the primitive behind
@@ -153,11 +299,8 @@ func (pl *Pool) Resize(capacity int) {
 	}
 	// Admit waiters into newly available units.
 	for len(pl.waiters) > 0 && pl.inUse < pl.capacity {
-		w := pl.waiters[0]
-		copy(pl.waiters, pl.waiters[1:])
-		pl.waiters = pl.waiters[:len(pl.waiters)-1]
 		pl.inUse++
-		w.Unpark()
+		pl.popWaiter()
 	}
 }
 
@@ -174,6 +317,7 @@ func (pl *Pool) ResetStats() {
 	pl.fullTime = 0
 	pl.grants = 0
 	pl.waited = 0
+	pl.timeouts = 0
 	pl.totalWait = 0
 	pl.maxQueue = len(pl.waiters)
 }
@@ -187,8 +331,10 @@ type PoolStats struct {
 	Saturated   float64         // fraction of time full AND waiters queued
 	Grants      uint64          // successful acquisitions
 	Waited      uint64          // acquisitions that had to queue
+	Timeouts    uint64          // acquisitions abandoned at the timeout
 	MeanWait    time.Duration   // mean wait over all grants
 	MaxQueue    int             // deepest wait queue observed
+	Leaked      int             // units currently bled out by leak faults
 	OccTime     []time.Duration // time spent at occupancy 0..Capacity
 }
 
@@ -201,7 +347,9 @@ func (pl *Pool) Stats() PoolStats {
 		Capacity: pl.capacity,
 		Grants:   pl.grants,
 		Waited:   pl.waited,
+		Timeouts: pl.timeouts,
 		MaxQueue: pl.maxQueue,
+		Leaked:   pl.leaked,
 		OccTime:  append([]time.Duration(nil), pl.occTime...),
 	}
 	if elapsed > 0 {

@@ -10,13 +10,16 @@ import (
 )
 
 // Target is the system under test as seen by an emulated browser: Do blocks
-// until the complete response (including static follow-ups) is received.
+// until the complete response (including static follow-ups) is received. A
+// non-nil error means the browser got an error or degraded response instead
+// of the page (crash faults, shed requests, timeouts).
 type Target interface {
-	Do(p *des.Proc, it *Interaction)
+	Do(p *des.Proc, it *Interaction) error
 }
 
-// Collector receives one record per completed request.
-type Collector func(it *Interaction, issued time.Duration, rt time.Duration)
+// Collector receives one record per finished request; err is non-nil when
+// the request failed (rt then covers the time until the error response).
+type Collector func(it *Interaction, issued time.Duration, rt time.Duration, err error)
 
 // ClientConfig configures the closed-loop load generator.
 type ClientConfig struct {
@@ -62,6 +65,7 @@ type Workload struct {
 	issued    uint64
 	completed uint64
 	abandoned uint64
+	failed    uint64
 }
 
 // UsersPerNode returns the emulated-user count per client node, the load
@@ -82,6 +86,10 @@ func (w *Workload) Completed() uint64 { return w.completed }
 // Abandoned returns the number of sessions abandoned over slow responses
 // (0 unless ClientConfig.Patience is set).
 func (w *Workload) Abandoned() uint64 { return w.abandoned }
+
+// Failed returns the number of requests that ended in an error response
+// (0 in a fault-free simulation).
+func (w *Workload) Failed() uint64 { return w.failed }
 
 // Start launches cfg.Users session processes against target. Each session
 // loops forever: think, issue the current interaction, record the response
@@ -127,15 +135,24 @@ func Start(env *des.Env, cfg ClientConfig, table *Table, target Target, collect 
 						p.SetData(tr)
 					}
 				}
-				target.Do(p, it)
+				err := target.Do(p, it)
 				if tr != nil {
 					cfg.Tracer.Finish(tr, p.Now())
 					p.SetData(nil)
 				}
-				w.completed++
 				rt := p.Now() - issued
+				if err != nil {
+					// Error page: the user stays on the same state and
+					// reloads after a normal think time.
+					w.failed++
+					if collect != nil {
+						collect(it, issued, rt, err)
+					}
+					continue
+				}
+				w.completed++
 				if collect != nil {
-					collect(it, issued, rt)
+					collect(it, issued, rt, nil)
 				}
 				if cfg.Patience > 0 && rt > cfg.Patience {
 					// Frustrated user: abandon the navigation, return to

@@ -141,9 +141,10 @@ type fakeTarget struct {
 	calls int
 }
 
-func (f *fakeTarget) Do(p *des.Proc, it *Interaction) {
+func (f *fakeTarget) Do(p *des.Proc, it *Interaction) error {
 	f.calls++
 	p.Sleep(f.delay)
+	return nil
 }
 
 func TestClosedLoopThroughputFollowsLittlesLaw(t *testing.T) {
@@ -155,7 +156,7 @@ func TestClosedLoopThroughputFollowsLittlesLaw(t *testing.T) {
 	}
 	var count int
 	var rts time.Duration
-	_, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration) {
+	_, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration, err error) {
 		count++
 		rts += rt
 	})
@@ -186,7 +187,7 @@ func TestRampUpSpreadsStarts(t *testing.T) {
 	var firstIssues []time.Duration
 	seen := map[int]bool{}
 	i := 0
-	_, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration) {
+	_, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration, err error) {
 		_ = it
 		if !seen[i] { // record first few issues only
 		}
@@ -246,7 +247,7 @@ func TestDeterministicReplay(t *testing.T) {
 		cfg := DefaultClientConfig(20)
 		cfg.RampUp = time.Second
 		count := 0
-		if _, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration) {
+		if _, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration, err error) {
 			count++
 		}); err != nil {
 			t.Fatal(err)
@@ -270,7 +271,7 @@ func TestAbandonment(t *testing.T) {
 			Matrix: BrowseOnlyMix(), Seed: 9, Patience: patience,
 		}
 		count := 0
-		w, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration) {
+		w, err := Start(env, cfg, NewTable(), tgt, func(it *Interaction, issued, rt time.Duration, err error) {
 			count++
 		})
 		if err != nil {

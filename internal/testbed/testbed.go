@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/fault"
 	"github.com/softres/ntier/internal/hw"
 	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/resource"
 	"github.com/softres/ntier/internal/rng"
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/tier"
@@ -33,6 +35,12 @@ type Options struct {
 	TuneTomcat func(*tier.TomcatConfig)
 	TuneCJDBC  func(*tier.CJDBCConfig)
 
+	// Resilience, when set, attaches timeouts, retries, circuit breakers,
+	// and load shedding to every Apache and Tomcat (see tier.
+	// ResilienceConfig). Nil keeps the original fault-free fast path and
+	// reproduces the seed's numbers exactly.
+	Resilience *tier.ResilienceConfig
+
 	// DisableGC gives every JVM an effectively infinite heap (ablation).
 	DisableGC bool
 	// DisableFinWait turns off Apache's lingering close (ablation).
@@ -54,6 +62,10 @@ type Testbed struct {
 	// Options.ClientLinkMbps is set).
 	ClientLink *netsim.SharedLink
 
+	// LinkSpike injects extra latency into every tier-to-tier hop (the
+	// fault injector's "link" target); zero extra means no change.
+	LinkSpike *netsim.Spike
+
 	rr int // front-end round-robin cursor
 }
 
@@ -72,8 +84,9 @@ func Build(opts Options) (*Testbed, error) {
 		opts.LinkLatency = 700 * time.Microsecond
 	}
 	env := des.NewEnv()
-	link := netsim.Link{Latency: opts.LinkLatency}
-	tb := &Testbed{Env: env, Opts: opts, Table: rubbos.NewTable()}
+	spike := &netsim.Spike{}
+	link := netsim.Link{Latency: opts.LinkLatency, Spike: spike}
+	tb := &Testbed{Env: env, Opts: opts, Table: rubbos.NewTable(), LinkSpike: spike}
 
 	// Database tier. Every database node carries a disk for synchronous
 	// write commits (idle under the browsing mix).
@@ -112,7 +125,13 @@ func Build(opts Options) (*Testbed, error) {
 		node := hw.NewNode(env, fmt.Sprintf("tomcat%d", i+1), opts.NodeSpec)
 		r := rng.NewStream(opts.Seed, node.Name())
 		backend := tb.CJDBCs[i%len(tb.CJDBCs)]
-		tb.Tomcats = append(tb.Tomcats, tier.NewTomcat(env, node, cfg, backend, link, r))
+		t := tier.NewTomcat(env, node, cfg, backend, link, r)
+		if opts.Resilience != nil {
+			// The jitter stream is separate from the node's demand stream
+			// so enabling resilience never shifts the fault-free draws.
+			t.SetResilience(opts.Resilience, rng.NewStream(opts.Seed, node.Name()+"/resilience"))
+		}
+		tb.Tomcats = append(tb.Tomcats, t)
 	}
 
 	// Each middleware node holds one resident thread per upstream DB
@@ -145,16 +164,51 @@ func Build(opts Options) (*Testbed, error) {
 		r := rng.NewStream(opts.Seed, node.Name())
 		a := tier.NewApache(env, node, cfg, tb.Tomcats, link, r)
 		a.SetClientLink(clientLink)
+		if opts.Resilience != nil {
+			a.SetResilience(opts.Resilience, rng.NewStream(opts.Seed, node.Name()+"/resilience"))
+		}
 		tb.Apaches = append(tb.Apaches, a)
 	}
 	return tb, nil
 }
 
 // Do implements rubbos.Target, balancing sessions across web servers.
-func (tb *Testbed) Do(p *des.Proc, it *rubbos.Interaction) {
+func (tb *Testbed) Do(p *des.Proc, it *rubbos.Interaction) error {
 	a := tb.Apaches[tb.rr%len(tb.Apaches)]
 	tb.rr++
-	a.Do(p, it)
+	return a.Do(p, it)
+}
+
+// FaultTargets exposes the deployment's fault-injection surface: every
+// server by node name (crash), every node CPU (brownout), the soft-resource
+// pools by path (connection leaks), and the shared tier-to-tier link under
+// the name "link" (latency spikes).
+func (tb *Testbed) FaultTargets() fault.Targets {
+	ft := fault.Targets{
+		Nodes:  map[string]fault.Downable{},
+		CPUs:   map[string]*resource.CPU{},
+		Pools:  map[string]*resource.Pool{},
+		Spikes: map[string]*netsim.Spike{"link": tb.LinkSpike},
+	}
+	for _, n := range tb.Nodes() {
+		ft.CPUs[n.Name()] = n.CPU()
+	}
+	for _, a := range tb.Apaches {
+		ft.Nodes[a.Node.Name()] = a
+		ft.Pools[a.Workers.Name()] = a.Workers
+	}
+	for _, t := range tb.Tomcats {
+		ft.Nodes[t.Node.Name()] = t
+		ft.Pools[t.Threads.Name()] = t.Threads
+		ft.Pools[t.Conns.Name()] = t.Conns
+	}
+	for _, c := range tb.CJDBCs {
+		ft.Nodes[c.Node.Name()] = c
+	}
+	for _, m := range tb.MySQLs {
+		ft.Nodes[m.Node.Name()] = m
+	}
+	return ft
 }
 
 // StartWorkload launches a closed-loop RUBBoS workload of `users` emulated

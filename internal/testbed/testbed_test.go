@@ -96,7 +96,7 @@ func runSmoke(t *testing.T, users int, opts Options) (tp float64, meanRT time.Du
 	var count uint64
 	var sumRT time.Duration
 	measureStart := 20 * time.Second
-	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
 		if issued >= measureStart {
 			count++
 			sumRT += rt
@@ -209,7 +209,7 @@ func TestClientLinkBindsWhenNarrow(t *testing.T) {
 		ccfg.RampUp = 10 * time.Second
 		var count uint64
 		start := 20 * time.Second
-		if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration) {
+		if _, err := tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
 			if issued >= start {
 				count++
 			}

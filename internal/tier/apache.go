@@ -31,6 +31,11 @@ func DefaultApacheConfig(workers int) ApacheConfig {
 // holding the worker until the client's FIN arrives. Under high client-side
 // load the FIN tail parks a large share of the workers — the paper's
 // buffering effect (§III-C).
+//
+// With a ResilienceConfig attached (SetResilience) the server additionally
+// sheds requests when the worker queue is deep, bounds the worker wait,
+// retries failed proxy calls against the next application server
+// (failover), and guards the Apache→Tomcat hop with a circuit breaker.
 type Apache struct {
 	env  *des.Env
 	Node *hw.Node
@@ -44,6 +49,9 @@ type Apache struct {
 
 	tomcats []*Tomcat
 	rr      int
+
+	res  resilience
+	down bool
 
 	// finLoad is the emulated-user count per client node, driving the FIN
 	// tail (set by the topology builder).
@@ -80,6 +88,25 @@ func NewApache(env *des.Env, node *hw.Node, cfg ApacheConfig, tomcats []*Tomcat,
 // Config returns the server's configuration.
 func (a *Apache) Config() ApacheConfig { return a.cfg }
 
+// SetResilience attaches the resilience layer; r seeds the backoff jitter.
+// It must be called before the simulation starts. A nil cfg keeps the
+// original fault-free path.
+func (a *Apache) SetResilience(cfg *ResilienceConfig, r *rng.Rand) {
+	a.res = newResilienceN(a.env, cfg, r, len(a.tomcats))
+}
+
+// SetDown marks the server crashed (refusing all work) or restored.
+func (a *Apache) SetDown(down bool) { a.down = down }
+
+// Down reports whether the server is refusing work.
+func (a *Apache) Down() bool { return a.down }
+
+// Resilience returns the resilience counters (nil when the layer is off).
+func (a *Apache) Resilience() *ResilienceStats { return a.res.Stats() }
+
+// Breakers returns the per-Tomcat circuit breakers (nil if not enabled).
+func (a *Apache) Breakers() []*Breaker { return a.res.breakers }
+
 // Connecting returns the number of workers currently interacting (or
 // queued to interact) with the Tomcat tier.
 func (a *Apache) Connecting() int { return a.connecting }
@@ -100,11 +127,31 @@ func (a *Apache) Timeline() (processed, ptTotal, ptConnecting *metrics.Windows) 
 
 // Do serves one complete page interaction for the calling browser process:
 // the dynamic request proxied to Tomcat plus the static follow-ups, then
-// the connection close.
-func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) {
+// the connection close. A non-nil error means the browser received an error
+// (or degraded) response instead of the page.
+func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) error {
 	a.link.Traverse(p)
+	if a.down {
+		// Connection refused: the client learns after the network hop.
+		a.link.Traverse(p)
+		return &Error{Kind: FailDown, Server: a.Node.Name()}
+	}
+	if a.res.enabled() && a.res.cfg.MaxQueue > 0 && a.Workers.Queued() >= a.res.cfg.MaxQueue {
+		// Admission control: reject before tying up a worker; the
+		// degraded response costs a sliver of CPU (error page).
+		a.res.stats.Shed++
+		a.degraded(p)
+		a.link.Traverse(p)
+		return &Error{Kind: FailShed, Server: a.Node.Name()}
+	}
 	t0 := p.Now()
-	a.Workers.Acquire(p)
+	if ok, _ := a.Workers.AcquireTimeout(p, a.res.acquireTimeout()); !ok {
+		a.res.stats.AcquireTimeouts++
+		a.res.stats.Failures++
+		addSpan(p, a.Node.Name(), "worker-timeout", t0)
+		a.link.Traverse(p)
+		return &Error{Kind: FailTimeout, Server: a.Node.Name()}
+	}
 	addSpan(p, a.Node.Name(), "worker-wait", t0)
 	// Residence is measured while holding a worker (see Tomcat.Serve).
 	busyStart := p.Now()
@@ -116,13 +163,22 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) {
 	a.Node.CPU().Use(p, sampleMS(a.r, it.ApacheMS/2, it.CV))
 	addSpan(p, a.Node.Name(), "cpu", t0)
 
-	tc := a.tomcats[a.rr%len(a.tomcats)]
-	a.rr++
 	a.connecting++
 	connStart := p.Now()
-	tc.Serve(p, it)
+	err := a.proxy(p, it)
 	connDur := p.Now() - connStart
 	a.connecting--
+
+	if err != nil {
+		// Error response: close fast (no static follow-ups, no
+		// lingering close worth modelling for an aborted connection).
+		a.res.stats.Failures++
+		busy := p.Now() - busyStart
+		a.Workers.Release()
+		a.log.Observe(p.Now(), busy)
+		a.link.Traverse(p)
+		return err
+	}
 
 	t0 = p.Now()
 	a.Node.CPU().Use(p, sampleMS(a.r, it.ApacheMS/2, it.CV))
@@ -154,6 +210,57 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) {
 		a.ptConnecting.Observe(now, float64(connDur)/float64(time.Millisecond))
 	}
 	a.link.Traverse(p)
+	return nil
+}
+
+// proxy forwards the dynamic request to the application tier: one attempt
+// on the fault-free path, or up to 1+Retries attempts with breaker checks,
+// backoff, and round-robin failover when resilience is enabled.
+func (a *Apache) proxy(p *des.Proc, it *rubbos.Interaction) error {
+	var err error
+	attempts := a.res.attempts()
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			a.res.stats.Retries++
+			if d := a.res.cfg.backoff(a.res.r, i-1); d > 0 {
+				t0 := p.Now()
+				p.Sleep(d)
+				addSpan(p, a.Node.Name(), "backoff", t0)
+			}
+		}
+		idx := a.rr % len(a.tomcats)
+		tc := a.tomcats[idx]
+		a.rr++
+		br := a.res.breaker(idx)
+		if br != nil && !br.Allow() {
+			err = &Error{Kind: FailOpen, Server: tc.Node.Name()}
+			continue
+		}
+		start := p.Now()
+		e := tc.Serve(p, it)
+		if e == nil && a.res.enabled() && a.res.cfg.CallTimeout > 0 &&
+			p.Now()-start > a.res.cfg.CallTimeout {
+			// The response arrived past the deadline: the proxy already
+			// gave up, so the completed work is wasted.
+			a.res.stats.CallTimeouts++
+			e = &Error{Kind: FailTimeout, Server: tc.Node.Name()}
+		}
+		if br != nil {
+			br.Record(e == nil)
+		}
+		if e == nil {
+			return nil
+		}
+		err = e
+	}
+	return err
+}
+
+// degraded emits the error/degraded response without holding a worker.
+func (a *Apache) degraded(p *des.Proc) {
+	if a.res.enabled() && a.res.cfg.DegradedMS > 0 {
+		a.Node.CPU().Use(p, time.Duration(a.res.cfg.DegradedMS*float64(time.Millisecond)))
+	}
 }
 
 // SetFinLoad records the per-client-node user load (see

@@ -71,12 +71,18 @@ type CJDBC struct {
 	backends []*MySQL
 	rr       int
 
+	down bool
+
 	// upstreamConns is the total capacity of all Tomcat DB connection
 	// pools, set by the topology builder after wiring.
 	upstreamConns int
 	// busy is the number of upstream connections currently checked out —
 	// each one a busy request-handling thread in this process.
 	busy int
+	// busyIntegral accumulates busy-unit-seconds so scenarios can report
+	// the mean effective concurrency (the retry-amplification metric).
+	busyIntegral float64
+	lastBusy     time.Duration
 }
 
 // NewCJDBC creates the middleware on node, balancing over backends.
@@ -100,10 +106,38 @@ func (c *CJDBC) UpstreamConns() int { return c.upstreamConns }
 // request-handling threads).
 func (c *CJDBC) Busy() int { return c.busy }
 
+// SetDown marks the middleware crashed (refusing all work) or restored.
+func (c *CJDBC) SetDown(down bool) { c.down = down }
+
+// Down reports whether the middleware is refusing work.
+func (c *CJDBC) Down() bool { return c.down }
+
+// accountBusy integrates the busy-concurrency level up to now.
+func (c *CJDBC) accountBusy() {
+	now := c.env.Now()
+	if dt := now - c.lastBusy; dt > 0 {
+		c.busyIntegral += float64(c.busy) * dt.Seconds()
+	}
+	c.lastBusy = now
+}
+
+// BusyIntegral returns accumulated busy-unit-seconds of checked-out
+// connections; scenario samplers diff readings for mean concurrency.
+func (c *CJDBC) BusyIntegral() float64 {
+	c.accountBusy()
+	return c.busyIntegral
+}
+
 // Checkout marks one upstream connection as checked out and services its
 // validation round (test-on-borrow ping issued by the application server's
-// pool on every acquire). Every Checkout must be paired with a Release.
-func (c *CJDBC) Checkout(p *des.Proc) {
+// pool on every acquire). Every successful Checkout must be paired with a
+// Release; a crashed middleware refuses the checkout (holding nothing).
+func (c *CJDBC) Checkout(p *des.Proc) error {
+	if c.down {
+		c.link.Traverse(p)
+		return &Error{Kind: FailDown, Server: c.Node.Name()}
+	}
+	c.accountBusy()
 	c.busy++
 	t0 := p.Now()
 	c.link.Traverse(p)
@@ -111,6 +145,7 @@ func (c *CJDBC) Checkout(p *des.Proc) {
 	c.Node.CPU().Use(p, time.Duration(demand*float64(time.Millisecond)))
 	c.link.Traverse(p)
 	addSpan(p, c.Node.Name(), "validate", t0)
+	return nil
 }
 
 // Release returns the checked-out connection; its handler thread idles.
@@ -118,6 +153,7 @@ func (c *CJDBC) Release() {
 	if c.busy <= 0 {
 		panic("tier: C-JDBC release without checkout")
 	}
+	c.accountBusy()
 	c.busy--
 }
 
@@ -125,9 +161,14 @@ func (c *CJDBC) Release() {
 const validationMS = 0.05
 
 // Query routes one SQL statement to a database server and waits for the
-// result.
-func (c *CJDBC) Query(p *des.Proc, it *rubbos.Interaction) {
+// result. A crashed middleware (or database server) surfaces as an error.
+func (c *CJDBC) Query(p *des.Proc, it *rubbos.Interaction) error {
 	c.link.Traverse(p)
+	if c.down {
+		// Crashed mid-checkout-hold: the statement fails on the wire.
+		c.link.Traverse(p)
+		return &Error{Kind: FailDown, Server: c.Node.Name()}
+	}
 	start := p.Now()
 
 	// Routing work: parse, schedule, and forward the statement. Demand
@@ -144,10 +185,11 @@ func (c *CJDBC) Query(p *des.Proc, it *rubbos.Interaction) {
 	// Balance across database servers round-robin.
 	be := c.backends[c.rr%len(c.backends)]
 	c.rr++
-	be.Query(p, it)
+	err := be.Query(p, it)
 
 	c.log.Observe(p.Now(), p.Now()-start)
 	c.link.Traverse(p)
+	return err
 }
 
 // Log returns the residence-time log.

@@ -20,6 +20,7 @@ type MySQL struct {
 	log  ServiceLog
 
 	inflight int
+	down     bool
 }
 
 // NewMySQL creates a database server on node.
@@ -27,9 +28,20 @@ func NewMySQL(env *des.Env, node *hw.Node, link netsim.Link, r *rng.Rand) *MySQL
 	return &MySQL{env: env, Node: node, link: link, r: r}
 }
 
-// Query executes one SQL statement for the calling request process.
-func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) {
+// SetDown marks the server crashed (refusing all queries) or restored.
+func (m *MySQL) SetDown(down bool) { m.down = down }
+
+// Down reports whether the server is refusing queries.
+func (m *MySQL) Down() bool { return m.down }
+
+// Query executes one SQL statement for the calling request process. A
+// crashed server refuses the statement after the network hop.
+func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) error {
 	m.link.Traverse(p)
+	if m.down {
+		m.link.Traverse(p)
+		return &Error{Kind: FailDown, Server: m.Node.Name()}
+	}
 	start := p.Now()
 	m.inflight++
 	m.Node.CPU().Use(p, sampleMS(m.r, it.MySQLMS, it.CV))
@@ -46,6 +58,7 @@ func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) {
 	addSpan(p, m.Node.Name(), "exec", start)
 	m.log.Observe(p.Now(), p.Now()-start)
 	m.link.Traverse(p)
+	return nil
 }
 
 // Inflight returns the number of queries currently executing.

@@ -47,6 +47,10 @@ func DefaultTomcatConfig(threads, conns int) TomcatConfig {
 // DB connection pool (the paper modified RUBBoS so all servlets share one
 // pool per server). A request holds a thread for its entire residence and a
 // DB connection only during each query — the busy periods t1, t2 of Fig. 9.
+//
+// With a ResilienceConfig attached, thread and connection waits are
+// bounded, failed queries are retried with backoff, and the Tomcat→C-JDBC
+// hop is guarded by a circuit breaker.
 type Tomcat struct {
 	env  *des.Env
 	Node *hw.Node
@@ -60,15 +64,19 @@ type Tomcat struct {
 	JVM     *jvm.JVM
 
 	backend Backend
+
+	res  resilience
+	down bool
 }
 
 // Backend executes SQL statements on behalf of an application server; in
 // the paper's four-tier topology it is the C-JDBC middleware. Checkout is
 // the connection checkout (with its test-on-borrow validation round): it
-// occupies one backend handler thread until the paired Release.
+// occupies one backend handler thread until the paired Release. A failed
+// Checkout (crashed backend) holds nothing and must not be Released.
 type Backend interface {
-	Checkout(p *des.Proc)
-	Query(p *des.Proc, it *rubbos.Interaction)
+	Checkout(p *des.Proc) error
+	Query(p *des.Proc, it *rubbos.Interaction) error
 	Release()
 }
 
@@ -101,13 +109,42 @@ func NewTomcat(env *des.Env, node *hw.Node, cfg TomcatConfig, backend Backend, l
 // Config returns the server's configuration.
 func (t *Tomcat) Config() TomcatConfig { return t.cfg }
 
+// SetResilience attaches the resilience layer; r seeds the backoff jitter.
+// It must be called before the simulation starts.
+func (t *Tomcat) SetResilience(cfg *ResilienceConfig, r *rng.Rand) {
+	t.res = newResilience(t.env, cfg, r)
+}
+
+// SetDown marks the server crashed (refusing all work) or restored.
+func (t *Tomcat) SetDown(down bool) { t.down = down }
+
+// Down reports whether the server is refusing work.
+func (t *Tomcat) Down() bool { return t.down }
+
+// Resilience returns the resilience counters (nil when the layer is off).
+func (t *Tomcat) Resilience() *ResilienceStats { return t.res.Stats() }
+
+// Breaker returns the Tomcat→C-JDBC circuit breaker (nil if not enabled).
+func (t *Tomcat) Breaker() *Breaker { return t.res.breaker(0) }
+
 // Serve processes one servlet request for the calling process: acquire a
 // servlet thread, run the servlet's CPU phases, and issue its SQL queries
-// through the DB connection pool.
-func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) {
+// through the DB connection pool. A non-nil error aborts the request (the
+// connector returns an error response upstream).
+func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) error {
 	t.link.Traverse(p)
+	if t.down {
+		t.link.Traverse(p)
+		return &Error{Kind: FailDown, Server: t.Node.Name()}
+	}
 	t0 := p.Now()
-	t.Threads.Acquire(p)
+	if ok, _ := t.Threads.AcquireTimeout(p, t.res.acquireTimeout()); !ok {
+		t.res.stats.AcquireTimeouts++
+		t.res.stats.Failures++
+		addSpan(p, t.Node.Name(), "thread-timeout", t0)
+		t.link.Traverse(p)
+		return &Error{Kind: FailTimeout, Server: t.Node.Name()}
+	}
 	addSpan(p, t.Node.Name(), "thread-wait", t0)
 	// Residence is measured while holding a servlet thread: the log's
 	// Little's-law estimate counts jobs *inside* the server, which is what
@@ -123,13 +160,13 @@ func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) {
 
 	t.useCPU(p, per, it.CV)
 	for q := 0; q < queries; q++ {
-		t0 = p.Now()
-		t.Conns.Acquire(p)
-		addSpan(p, t.Node.Name(), "conn-wait", t0)
-		t.backend.Checkout(p)
-		t.backend.Query(p, it)
-		t.backend.Release()
-		t.Conns.Release()
+		if err := t.query(p, it); err != nil {
+			t.res.stats.Failures++
+			t.Threads.Release()
+			t.log.Observe(p.Now(), p.Now()-start)
+			t.link.Traverse(p)
+			return err
+		}
 		t.useCPU(p, per, it.CV)
 	}
 	t.useCPU(p, per, it.CV)
@@ -146,6 +183,61 @@ func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) {
 	t.Threads.Release()
 	t.log.Observe(p.Now(), p.Now()-start)
 	t.link.Traverse(p)
+	return nil
+}
+
+// query issues one SQL statement through the connection pool and backend,
+// retrying with backoff when resilience is enabled. Each attempt checks out
+// a fresh connection — retries re-pay the checkout validation and routing
+// work downstream, which is how retry storms multiply effective backend
+// concurrency.
+func (t *Tomcat) query(p *des.Proc, it *rubbos.Interaction) error {
+	var err error
+	attempts := t.res.attempts()
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			t.res.stats.Retries++
+			if d := t.res.cfg.backoff(t.res.r, i-1); d > 0 {
+				t0 := p.Now()
+				p.Sleep(d)
+				addSpan(p, t.Node.Name(), "backoff", t0)
+			}
+		}
+		t0 := p.Now()
+		ok, _ := t.Conns.AcquireTimeout(p, t.res.acquireTimeout())
+		if !ok {
+			t.res.stats.AcquireTimeouts++
+			err = &Error{Kind: FailTimeout, Server: t.Node.Name()}
+			continue
+		}
+		addSpan(p, t.Node.Name(), "conn-wait", t0)
+		br := t.res.breaker(0)
+		if br != nil && !br.Allow() {
+			t.Conns.Release()
+			err = &Error{Kind: FailOpen, Server: t.Node.Name()}
+			continue
+		}
+		start := p.Now()
+		e := t.backend.Checkout(p)
+		if e == nil {
+			e = t.backend.Query(p, it)
+			t.backend.Release()
+		}
+		t.Conns.Release()
+		if e == nil && t.res.enabled() && t.res.cfg.CallTimeout > 0 &&
+			p.Now()-start > t.res.cfg.CallTimeout {
+			t.res.stats.CallTimeouts++
+			e = &Error{Kind: FailTimeout, Server: t.Node.Name()}
+		}
+		if br != nil {
+			br.Record(e == nil)
+		}
+		if e == nil {
+			return nil
+		}
+		err = e
+	}
+	return err
 }
 
 // useCPU runs meanMS of servlet work inflated by the concurrency overhead.

@@ -29,11 +29,14 @@ package ntier
 import (
 	"time"
 
+	"github.com/softres/ntier/internal/adaptive"
 	"github.com/softres/ntier/internal/core"
 	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/fault"
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/sla"
 	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/tier"
 	"github.com/softres/ntier/internal/trace"
 )
 
@@ -151,3 +154,60 @@ func ClassifyBottlenecks(series map[string][]float64, cfg BottleneckConfig) Diag
 
 // Diagnose runs one monitored trial and classifies its bottleneck pattern.
 func Diagnose(rc RunConfig) (Diagnosis, error) { return core.Diagnose(rc) }
+
+// Fault injection and resilience (extension beyond the paper; see
+// EXPERIMENTS.md). A FaultPlan schedules deterministic faults against the
+// simulated topology; ResilienceConfig arms timeouts, retries with
+// backoff, circuit breakers, and load shedding in the request pipeline.
+type (
+	// FaultPlan is a declarative schedule of fault events.
+	FaultPlan = fault.Plan
+	// FaultEvent is one timed fault (crash, brown-out, net spike, leak).
+	FaultEvent = fault.Event
+	// FaultRecord is one injector action that was actually applied.
+	FaultRecord = fault.Record
+	// ResilienceConfig tunes the per-server resilience layer.
+	ResilienceConfig = tier.ResilienceConfig
+	// ResilienceStats counts sheds, timeouts, retries, and breaker opens.
+	ResilienceStats = tier.ResilienceStats
+	// ScenarioConfig describes one fault-injection trial.
+	ScenarioConfig = experiment.ScenarioConfig
+	// ScenarioResult is a fault trial's timeline and recovery statistics.
+	ScenarioResult = experiment.ScenarioResult
+	// ScenarioPoint is one timeline bucket of a fault trial.
+	ScenarioPoint = experiment.ScenarioPoint
+	// Scenario is a named, self-configuring fault scenario.
+	Scenario = experiment.Scenario
+	// AdaptiveConfig tunes the feedback controller evaluated under faults.
+	AdaptiveConfig = adaptive.Config
+)
+
+// Fault-event constructors for FaultPlan.Events.
+var (
+	// Crash takes a server down between start and end.
+	Crash = fault.Crash
+	// Brownout runs a node's CPU at the given speed fraction.
+	Brownout = fault.Brownout
+	// NetSpike adds extra latency to every traversal of a link.
+	NetSpike = fault.NetSpike
+	// ConnLeak leaks units from a named pool until reverted.
+	ConnLeak = fault.ConnLeak
+)
+
+// DefaultResilienceConfig returns the sane resilience policy: bounded
+// waits, bounded retries with jittered backoff, breakers, load shedding.
+func DefaultResilienceConfig() ResilienceConfig { return tier.DefaultResilienceConfig() }
+
+// RetryStormResilience returns the pathological anti-pattern policy
+// (unbounded waits, immediate retries, no breaker) used to demonstrate
+// retry amplification.
+func RetryStormResilience() *ResilienceConfig { return experiment.RetryStormResilience() }
+
+// RunScenario executes one fault-injection trial.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return experiment.RunScenario(cfg) }
+
+// Scenarios returns the built-in named fault scenarios.
+func Scenarios() []Scenario { return experiment.Scenarios() }
+
+// ScenarioByName resolves a built-in fault scenario.
+func ScenarioByName(name string) (Scenario, error) { return experiment.ScenarioByName(name) }

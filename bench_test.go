@@ -9,6 +9,7 @@ package ntier
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -438,5 +439,28 @@ func BenchmarkExtensionAdaptiveRecovery(b *testing.B) {
 			b.ReportMetric(float64(late)/30, label)
 			tb.Close()
 		}
+	}
+}
+
+// BenchmarkParallelSweep — the parallel trial executor: the same 8-trial
+// workload sweep serial, with a 4-worker pool, and with one worker per
+// CPU. Expected shape: on a 4-core machine parallel=4 is >= 2x faster
+// than parallel=1 (the trials are independent and CPU-bound); the sweep
+// outputs are byte-identical (asserted by tests, not here).
+func BenchmarkParallelSweep(b *testing.B) {
+	users := []int{4400, 4800, 5200, 5600, 6000, 6400, 6800, 7200}
+	pool := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		pool = append(pool, n)
+	}
+	for _, p := range pool {
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			cfg := benchConfig(b, "1/2/1/2", "400-15-6")
+			cfg.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				c := mustSweep(b, cfg, users)
+				b.ReportMetric(c.MaxThroughput(), "maxTP")
+			}
+		})
 	}
 }

@@ -5,19 +5,28 @@
 //	ntier-figures                  # all experiments, scaled-down trials
 //	ntier-figures -only fig4,fig5  # a subset
 //	ntier-figures -full            # paper-scale 8-min ramp / 12-min runtime
+//	ntier-figures -parallel 1      # serial trials (output is identical)
+//
+// Generators and the trials inside their sweeps run on a bounded worker
+// pool (one worker per CPU by default); every dataset is byte-identical
+// to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
 	"github.com/softres/ntier/internal/experiment"
 	"github.com/softres/ntier/internal/tier"
 )
@@ -27,6 +36,7 @@ type genFunc func(g *generator) (string, error)
 type generator struct {
 	ramp, measure time.Duration
 	seed          uint64
+	parallel      int
 }
 
 func (g *generator) base(hw, soft string) ntier.RunConfig {
@@ -39,9 +49,10 @@ func (g *generator) base(hw, soft string) ntier.RunConfig {
 		log.Fatal(err)
 	}
 	return ntier.RunConfig{
-		Testbed: ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
-		RampUp:  g.ramp,
-		Measure: g.measure,
+		Testbed:     ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
+		RampUp:      g.ramp,
+		Measure:     g.measure,
+		Parallelism: g.parallel,
 	}
 }
 
@@ -67,49 +78,96 @@ var registry = map[string]genFunc{
 }
 
 func main() {
-	var (
-		out  = flag.String("out", "results", "output directory")
-		only = flag.String("only", "", "comma-separated subset (fig2..fig10, table1, ablation)")
-		full = flag.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
-		seed = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g := &generator{ramp: 30 * time.Second, measure: 45 * time.Second, seed: *seed}
+// validNames returns the registry's names, sorted.
+func validNames() []string {
+	var names []string
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// selectNames resolves a -only value against the registry: blanks (a
+// trailing comma, doubled commas) are skipped, and every name is validated
+// before any experiment runs.
+func selectNames(only string) ([]string, error) {
+	if only == "" {
+		return validNames(), nil
+	}
+	var names []string
+	for _, part := range strings.Split(only, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, ok := registry[part]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s)", part, strings.Join(validNames(), ", "))
+		}
+		names = append(names, part)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-only %q selects no experiments (valid: %s)", only, strings.Join(validNames(), ", "))
+	}
+	return names, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "results", "output directory")
+		only     = fs.String("only", "", "comma-separated subset (fig2..fig10, table1, ablation)")
+		full     = fs.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "trial/generator worker count (0 = one per CPU, 1 = serial)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	g := &generator{ramp: 30 * time.Second, measure: 45 * time.Second, seed: *seed, parallel: *parallel}
 	if *full {
 		g.ramp, g.measure = 8*time.Minute, 12*time.Minute
 	}
+
+	names, err := selectNames(*only)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	var names []string
-	if *only != "" {
-		names = strings.Split(*only, ",")
-	} else {
-		for name := range registry {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		fn, ok := registry[name]
-		if !ok {
-			log.Fatalf("unknown experiment %q", name)
-		}
-		fmt.Printf("== %s\n", name)
+	// Generators are independent — run them on the same bounded worker
+	// pool the sweeps use. Each writes its own file; the datasets are
+	// byte-identical to a serial run at any -parallel setting.
+	var mu sync.Mutex
+	runErr := experiment.ForEachIndex(len(names), *parallel, func(i int) error {
+		name := names[i]
 		start := time.Now()
-		text, err := fn(g)
+		text, err := registry[name](g)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		path := filepath.Join(*out, name+".txt")
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			log.Fatal(err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("   wrote %s (%.1fs)\n", path, time.Since(start).Seconds())
+		mu.Lock()
+		fmt.Fprintf(stdout, "== %s: wrote %s (%.1fs)\n", name, path, time.Since(start).Seconds())
+		mu.Unlock()
+		return nil
+	})
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return 1
 	}
+	return 0
 }
 
 // fig2: goodput of 1/2/1/2 under 400-6-6 vs 400-15-6 at three SLA
@@ -152,7 +210,9 @@ func fig3(g *generator) (string, error) {
 		b.WriteString("\n")
 	}
 	// Use the sweep point closest to the paper's workload 7000.
-	idx, best := 0, 1<<62
+	// math.MaxInt (not 1<<62, which overflows int) keeps this portable
+	// to 32-bit targets.
+	idx, best := 0, math.MaxInt
 	for i, n := range users {
 		if d := n - 7000; d*d < best {
 			idx, best = i, d*d
@@ -160,14 +220,12 @@ func fig3(g *generator) (string, error) {
 	}
 	fmt.Fprintf(&b, "Figure 3(c): response-time distribution at workload %d\n", users[idx])
 	fmt.Fprintf(&b, "%-10s %12s %12s\n", "bucket [s]", "400-6-6", "400-15-6")
-	if idx >= 0 {
-		hLow := low.Results[idx].SLA.Histogram()
-		hHigh := high.Results[idx].SLA.Histogram()
-		labels := hLow.Labels()
-		fl, fh := hLow.Fractions(), hHigh.Fractions()
-		for i, lab := range labels {
-			fmt.Fprintf(&b, "%-10s %11.1f%% %11.1f%%\n", lab, fl[i]*100, fh[i]*100)
-		}
+	hLow := low.Results[idx].SLA.Histogram()
+	hHigh := high.Results[idx].SLA.Histogram()
+	labels := hLow.Labels()
+	fl, fh := hLow.Fractions(), hHigh.Fractions()
+	for i, lab := range labels {
+		fmt.Fprintf(&b, "%-10s %11.1f%% %11.1f%%\n", lab, fl[i]*100, fh[i]*100)
 	}
 	return b.String(), nil
 }

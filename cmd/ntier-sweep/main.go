@@ -37,9 +37,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		measure = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
 		vary    = fs.String("vary", "", "pool to sweep: threads, conns, or web")
 		sizesS  = fs.String("sizes", "", "comma-separated pool sizes for -vary")
-		thS     = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
-		noGC    = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
-		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+		thS      = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
+		noGC     = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin    = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+		parallel = fs.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,8 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			DisableGC:      *noGC,
 			DisableFinWait: *noFin,
 		},
-		RampUp:  *ramp,
-		Measure: *measure,
+		RampUp:      *ramp,
+		Measure:     *measure,
+		Parallelism: *parallel,
 	}
 
 	var curves []*ntier.Curve

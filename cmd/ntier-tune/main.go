@@ -30,6 +30,7 @@ func main() {
 		small    = flag.Int("smallstep", 400, "fine workload step")
 		validate = flag.Bool("validate", false, "sweep the recommended pool size (Fig. 10)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+		parallel = flag.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -43,9 +44,10 @@ func main() {
 	}
 	cfg := ntier.TunerConfig{
 		Base: ntier.RunConfig{
-			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
-			RampUp:  *ramp,
-			Measure: *measure,
+			Testbed:     ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
+			RampUp:      *ramp,
+			Measure:     *measure,
+			Parallelism: *parallel,
 		},
 		Step:      *step,
 		SmallStep: *small,

@@ -29,7 +29,10 @@ import (
 // Config tunes the allocation algorithm.
 type Config struct {
 	// Base describes the hardware configuration, initial soft allocation
-	// (S0), and trial protocol. Users is ignored.
+	// (S0), and trial protocol. Users is ignored. Base.Parallelism also
+	// sizes the speculative ramp batches: the algorithm's workload ramps
+	// run that many trials at once and read them in order, producing the
+	// same report as a serial ramp.
 	Base experiment.RunConfig
 
 	// Step is the coarse workload increment of FindCriticalResource
@@ -152,6 +155,45 @@ func (c *Config) run(soft testbed.SoftAlloc, users int) (*experiment.Result, err
 	return experiment.Run(rc)
 }
 
+// batchSize is how many ramp trials run speculatively at once.
+func (c *Config) batchSize() int {
+	if p := c.Base.Parallelism; p > 0 {
+		return p
+	}
+	return experiment.DefaultParallelism()
+}
+
+// runBatch runs one trial per workload in parallel, results in workload
+// order. The ramp loops consume the batch strictly in order and discard
+// everything past their stopping point, so speculation never changes what
+// the algorithm observes — only how fast it observes it.
+func (c *Config) runBatch(soft testbed.SoftAlloc, workloads []int) ([]*experiment.Result, error) {
+	out := make([]*experiment.Result, len(workloads))
+	err := experiment.ForEachIndex(len(workloads), c.Base.Parallelism, func(i int) error {
+		res, err := c.run(soft, workloads[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rampWorkloads returns start, start+step, ... while <= max, capped at n
+// points. The start is always included — like the serial ramps, the first
+// trial runs even when it already exceeds max.
+func rampWorkloads(start, step, max, n int) []int {
+	out := []int{start}
+	for w := start + step; w <= max && len(out) < n; w += step {
+		out = append(out, w)
+	}
+	return out
+}
+
 // satResource is one saturated hardware resource observation.
 type satResource struct {
 	stats    experiment.ServerStats
@@ -192,61 +234,70 @@ func (c *Config) saturatedSoft(res *experiment.Result) []string {
 	return out
 }
 
-// findCriticalResource implements procedure 1.
+// findCriticalResource implements procedure 1. The ramp runs speculative
+// batches of trials in parallel (see runBatch) but inspects them strictly
+// in workload order, so the reported critical resource is the one the
+// serial ramp would have found.
 func (c *Config) findCriticalResource(rep *Report) error {
 	soft := c.Base.Testbed.Soft
-	users := c.Step
-	tpMax := -1.0
+ramp:
 	for {
-		res, err := c.run(soft, users)
-		if err != nil {
-			return err
-		}
-		tp := res.Throughput()
-		c.logf("find-critical: soft=%s workload=%d tp=%.1f", soft, users, tp)
+		users := c.Step
+		tpMax := -1.0
+		for {
+			batch := rampWorkloads(users, c.Step, c.MaxWorkload, c.batchSize())
+			results, err := c.runBatch(soft, batch)
+			if err != nil {
+				return err
+			}
+			for bi, res := range results {
+				wl := batch[bi]
+				tp := res.Throughput()
+				c.logf("find-critical: soft=%s workload=%d tp=%.1f", soft, wl, tp)
 
-		if hw := c.saturatedHardware(res); len(hw) > 0 {
-			rep.ReservedSoft = soft
-			rep.Critical = Critical{
-				Tier:        hw[0].stats.Tier,
-				Server:      hw[0].stats.Name,
-				Resource:    hw[0].resource,
-				Workload:    users,
-				Utilization: hw[0].util,
+				if hw := c.saturatedHardware(res); len(hw) > 0 {
+					rep.ReservedSoft = soft
+					rep.Critical = Critical{
+						Tier:        hw[0].stats.Tier,
+						Server:      hw[0].stats.Name,
+						Resource:    hw[0].resource,
+						Workload:    wl,
+						Utilization: hw[0].util,
+					}
+					c.logf("find-critical: hardware saturation at %s %s (%.0f%%)",
+						hw[0].stats.Name, hw[0].resource, hw[0].util*100)
+					return nil
+				}
+				if softSat := c.saturatedSoft(res); len(softSat) > 0 {
+					if rep.Doublings >= c.MaxDoublings {
+						return fmt.Errorf("core: soft resources still saturate after %d doublings (%v)", rep.Doublings, softSat)
+					}
+					rep.Doublings++
+					soft = soft.Scale(2)
+					c.logf("find-critical: soft bottleneck %v -> doubling to %s", softSat, soft)
+					continue ramp
+				}
+				if tp <= tpMax*1.002 {
+					// The paper's single-bottleneck assumption failed;
+					// diagnose the windowed saturation pattern before
+					// giving up.
+					rc := c.Base
+					rc.Testbed.Soft = soft
+					rc.Users = wl
+					diag, derr := Diagnose(rc)
+					if derr != nil {
+						return fmt.Errorf("core: throughput stopped growing at workload %d with no saturated resource (diagnosis failed: %v)", wl, derr)
+					}
+					return fmt.Errorf("core: throughput stopped growing at workload %d with no fully saturated resource (paper §IV-B multi-bottleneck case); %s", wl, diag)
+				}
+				if tp > tpMax {
+					tpMax = tp
+				}
 			}
-			c.logf("find-critical: hardware saturation at %s %s (%.0f%%)",
-				hw[0].stats.Name, hw[0].resource, hw[0].util*100)
-			return nil
-		}
-		if softSat := c.saturatedSoft(res); len(softSat) > 0 {
-			if rep.Doublings >= c.MaxDoublings {
-				return fmt.Errorf("core: soft resources still saturate after %d doublings (%v)", rep.Doublings, softSat)
+			users = batch[len(batch)-1] + c.Step
+			if users > c.MaxWorkload {
+				return fmt.Errorf("core: no saturation below %d users", c.MaxWorkload)
 			}
-			rep.Doublings++
-			soft = soft.Scale(2)
-			users = c.Step
-			tpMax = -1
-			c.logf("find-critical: soft bottleneck %v -> doubling to %s", softSat, soft)
-			continue
-		}
-		if tp <= tpMax*1.002 {
-			// The paper's single-bottleneck assumption failed; diagnose
-			// the windowed saturation pattern before giving up.
-			rc := c.Base
-			rc.Testbed.Soft = soft
-			rc.Users = users
-			diag, derr := Diagnose(rc)
-			if derr != nil {
-				return fmt.Errorf("core: throughput stopped growing at workload %d with no saturated resource (diagnosis failed: %v)", users, derr)
-			}
-			return fmt.Errorf("core: throughput stopped growing at workload %d with no fully saturated resource (paper §IV-B multi-bottleneck case); %s", users, diag)
-		}
-		if tp > tpMax {
-			tpMax = tp
-		}
-		users += c.Step
-		if users > c.MaxWorkload {
-			return fmt.Errorf("core: no saturation below %d users", c.MaxWorkload)
 		}
 	}
 }
@@ -285,32 +336,40 @@ func (c *Config) inferMinConcurrentJobs(rep *Report) error {
 		slo       []float64
 		results   []*experiment.Result
 	)
+	// The fine ramp runs in speculative parallel batches, consumed in
+	// workload order; points past the stopping rule are discarded.
 	users := c.SmallStep
 	tpMax := -1.0
 	declines := 0
+ramp:
 	for {
-		res, err := c.run(rep.ReservedSoft, users)
+		batch := rampWorkloads(users, c.SmallStep, c.MaxWorkload, c.batchSize())
+		batchRes, err := c.runBatch(rep.ReservedSoft, batch)
 		if err != nil {
 			return err
 		}
-		tp := res.Throughput()
-		sat := res.SLA.SatisfactionRatio(c.SLA)
-		workloads = append(workloads, users)
-		slo = append(slo, sat)
-		results = append(results, res)
-		c.logf("infer-jobs: workload=%d tp=%.1f slo=%.3f", users, tp, sat)
+		for bi, res := range batchRes {
+			wl := batch[bi]
+			tp := res.Throughput()
+			sat := res.SLA.SatisfactionRatio(c.SLA)
+			workloads = append(workloads, wl)
+			slo = append(slo, sat)
+			results = append(results, res)
+			c.logf("infer-jobs: workload=%d tp=%.1f slo=%.3f", wl, tp, sat)
 
-		// The paper's loop stops when throughput stops growing; we keep
-		// two extra points so the change-point has post-intervention data.
-		if tp <= tpMax {
-			declines++
-			if declines >= 2 {
-				break
+			// The paper's loop stops when throughput stops growing; we
+			// keep two extra points so the change-point has
+			// post-intervention data.
+			if tp <= tpMax {
+				declines++
+				if declines >= 2 {
+					break ramp
+				}
+			} else {
+				tpMax = tp
 			}
-		} else {
-			tpMax = tp
 		}
-		users += c.SmallStep
+		users = batch[len(batch)-1] + c.SmallStep
 		if users > c.MaxWorkload {
 			break
 		}

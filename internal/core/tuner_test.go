@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -110,6 +111,65 @@ func TestTuneDoublesOnSoftBottleneck(t *testing.T) {
 	}
 	if rep.Critical.Tier != "tomcat" {
 		t.Errorf("critical tier %q, want tomcat", rep.Critical.Tier)
+	}
+}
+
+func TestTuneParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner runs a full workload ramp")
+	}
+	// The speculative batched ramps must report exactly what the serial
+	// ramp reports — same trials observed, same order, same log.
+	run := func(parallelism int) (string, string) {
+		cfg := tunerConfig(
+			testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+			testbed.SoftAlloc{WebThreads: 400, AppThreads: 15, AppConns: 20},
+		)
+		cfg.Base.Parallelism = parallelism
+		var log strings.Builder
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(&log, format+"\n", args...)
+		}
+		rep, err := Tune(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return rep.String(), log.String()
+	}
+	serialRep, serialLog := run(1)
+	parallelRep, parallelLog := run(4)
+	if serialRep != parallelRep {
+		t.Errorf("parallel report differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialRep, parallelRep)
+	}
+	if serialLog != parallelLog {
+		t.Errorf("parallel progress log differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialLog, parallelLog)
+	}
+}
+
+func TestRampWorkloads(t *testing.T) {
+	cases := []struct {
+		start, step, max, n int
+		want                []int
+	}{
+		{1000, 1000, 20000, 4, []int{1000, 2000, 3000, 4000}},
+		{19500, 1000, 20000, 4, []int{19500}},
+		// The first trial always runs, even past max — the serial ramps
+		// did, and the batched ramps must observe the same trials.
+		{1000, 1000, 500, 4, []int{1000}},
+		{400, 400, 1200, 16, []int{400, 800, 1200}},
+	}
+	for _, c := range cases {
+		got := rampWorkloads(c.start, c.step, c.max, c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("rampWorkloads(%d,%d,%d,%d) = %v, want %v", c.start, c.step, c.max, c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("rampWorkloads(%d,%d,%d,%d) = %v, want %v", c.start, c.step, c.max, c.n, got, c.want)
+				break
+			}
+		}
 	}
 }
 

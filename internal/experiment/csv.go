@@ -9,15 +9,16 @@ import (
 )
 
 // WriteCSV writes one curve's full per-workload record — throughput,
-// goodput per threshold, mean/p95 response time, and per-tier CPU — as CSV
-// for external plotting.
+// goodput per threshold, error/degraded responses, mean/p95 response time,
+// and per-tier CPU — as CSV for external plotting. The errors column keeps
+// badput visible in fault-scenario curves.
 func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 	cw := csv.NewWriter(w)
 	header := []string{"workload", "throughput"}
 	for _, th := range thresholds {
 		header = append(header, fmt.Sprintf("goodput_%s", th))
 	}
-	header = append(header, "mean_rt_s", "p95_rt_s",
+	header = append(header, "errors", "mean_rt_s", "p95_rt_s",
 		"apache_cpu", "tomcat_cpu", "cjdbc_cpu", "mysql_cpu")
 	if err := cw.Write(header); err != nil {
 		return err
@@ -31,6 +32,7 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 			row = append(row, fmt.Sprintf("%.2f", r.Goodput(th)))
 		}
 		row = append(row,
+			strconv.FormatUint(r.Errors, 10),
 			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Mean()),
 			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Percentile(95)),
 			fmt.Sprintf("%.4f", TierCPU(r.Apache)),

@@ -31,9 +31,38 @@ func TestWriteCSV(t *testing.T) {
 	if records[0][0] != "workload" || records[1][0] != "300" || records[2][0] != "600" {
 		t.Errorf("rows: %v", records)
 	}
-	wantCols := 2 + len(sla.StandardThresholds) + 6
+	wantCols := 2 + len(sla.StandardThresholds) + 7
 	if len(records[0]) != wantCols {
 		t.Errorf("csv has %d columns, want %d", len(records[0]), wantCols)
+	}
+	errCol := 2 + len(sla.StandardThresholds)
+	if records[0][errCol] != "errors" {
+		t.Errorf("column %d is %q, want errors", errCol, records[0][errCol])
+	}
+	if records[1][errCol] != "0" || records[2][errCol] != "0" {
+		t.Errorf("fault-free sweep reported errors: %v %v", records[1][errCol], records[2][errCol])
+	}
+}
+
+func TestWriteCSVSurfacesErrors(t *testing.T) {
+	cfg := baseConfig(0)
+	curve := &Curve{
+		Label:   "demo",
+		Users:   []int{100},
+		Results: []*Result{{Config: cfg, SLA: sla.NewCollector(sla.StandardThresholds), Errors: 42}},
+	}
+	curve.Results[0].SLA.SetElapsed(10 * time.Second)
+	var b strings.Builder
+	if err := curve.WriteCSV(&b, sla.StandardThresholds); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCol := 2 + len(sla.StandardThresholds)
+	if records[1][errCol] != "42" {
+		t.Errorf("errors cell %q, want 42", records[1][errCol])
 	}
 }
 

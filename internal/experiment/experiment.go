@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/softres/ntier/internal/jvm"
@@ -48,6 +49,12 @@ type RunConfig struct {
 	// TraceKeep bounds retained traces (default 16).
 	TraceEvery uint64
 	TraceKeep  int
+
+	// Parallelism bounds the worker pool that sweeps fan independent
+	// trials out on (0 = one worker per CPU, 1 = serial). It does not
+	// affect a single Run, and sweep output is byte-identical at every
+	// setting.
+	Parallelism int
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -90,11 +97,19 @@ type ServerStats struct {
 	Resilience *tier.ResilienceStats
 }
 
-// Pool returns the named pool's stats, or nil.
+// Pool returns the stats of the pool whose name ends in suffix, or nil.
+// The suffix must match a whole path segment: a "conns" query matches
+// "tomcat1/conns" but never a pool named "tomcat1/db-conns".
 func (s *ServerStats) Pool(suffix string) *resource.PoolStats {
+	if suffix == "" {
+		return nil
+	}
 	for i := range s.Pools {
-		if len(s.Pools[i].Name) >= len(suffix) &&
-			s.Pools[i].Name[len(s.Pools[i].Name)-len(suffix):] == suffix {
+		name := s.Pools[i].Name
+		if !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		if len(name) == len(suffix) || suffix[0] == '/' || name[len(name)-len(suffix)-1] == '/' {
 			return &s.Pools[i]
 		}
 	}
@@ -353,11 +368,17 @@ func startSampling(tb *testbed.Testbed, start time.Duration) *samples {
 	return s
 }
 
-// Describe summarizes a result in one line (used by the CLIs).
+// Describe summarizes a result in one line (used by the CLIs). Trials that
+// saw error or degraded responses report the count — badput must not hide
+// behind the goodput numbers.
 func (r *Result) Describe() string {
-	return fmt.Sprintf("%s %s N=%d: TP %.1f req/s, goodput(2s) %.1f, goodput(1s) %.1f, goodput(0.5s) %.1f, mean RT %s",
+	s := fmt.Sprintf("%s %s N=%d: TP %.1f req/s, goodput(2s) %.1f, goodput(1s) %.1f, goodput(0.5s) %.1f, mean RT %s",
 		r.Config.Testbed.Hardware, r.Config.Testbed.Soft, r.Config.Users,
 		r.Throughput(),
 		r.Goodput(2*time.Second), r.Goodput(time.Second), r.Goodput(500*time.Millisecond),
 		r.MeanRT().Round(time.Millisecond))
+	if r.Errors > 0 {
+		s += fmt.Sprintf(", errors %d", r.Errors)
+	}
+	return s
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/softres/ntier/internal/queuing"
+	"github.com/softres/ntier/internal/resource"
 	"github.com/softres/ntier/internal/testbed"
 )
 
@@ -142,6 +143,33 @@ func TestServerStatsPoolLookup(t *testing.T) {
 	}
 	if got := tc.Pool("/threads").Capacity; got != 15 {
 		t.Errorf("thread pool capacity %d, want 15", got)
+	}
+}
+
+func TestPoolSuffixMatchesWholeSegmentsOnly(t *testing.T) {
+	s := &ServerStats{Pools: []resource.PoolStats{
+		{Name: "tomcat1/db-conns", Capacity: 5},
+		{Name: "tomcat1/conns", Capacity: 7},
+	}}
+	// An ambiguous bare suffix must match the whole segment "conns", not
+	// the earlier pool that merely ends in "-conns".
+	if got := s.Pool("conns"); got == nil || got.Capacity != 7 {
+		t.Errorf("Pool(conns) = %v, want the tomcat1/conns pool", got)
+	}
+	if got := s.Pool("/conns"); got == nil || got.Capacity != 7 {
+		t.Errorf("Pool(/conns) = %v, want the tomcat1/conns pool", got)
+	}
+	if got := s.Pool("db-conns"); got == nil || got.Capacity != 5 {
+		t.Errorf("Pool(db-conns) = %v, want the tomcat1/db-conns pool", got)
+	}
+	if got := s.Pool("tomcat1/conns"); got == nil || got.Capacity != 7 {
+		t.Errorf("full-name Pool lookup = %v", got)
+	}
+	if got := s.Pool("onns"); got != nil {
+		t.Errorf("partial-segment suffix matched %v", got)
+	}
+	if got := s.Pool(""); got != nil {
+		t.Errorf("empty suffix matched %v", got)
 	}
 }
 

@@ -15,20 +15,28 @@ type Curve struct {
 	Results []*Result
 }
 
-// WorkloadSweep runs base at each user count and returns the curve.
+// WorkloadSweep runs base at each user count and returns the curve. The
+// trials are independent, so they fan out across base.Parallelism workers
+// (0 = one per CPU); results stay in workload order and are identical to
+// a serial sweep.
 func WorkloadSweep(base RunConfig, users []int) (*Curve, error) {
 	c := &Curve{
-		Label: fmt.Sprintf("%s(%s)", base.Testbed.Hardware, base.Testbed.Soft),
-		Users: append([]int(nil), users...),
+		Label:   fmt.Sprintf("%s(%s)", base.Testbed.Hardware, base.Testbed.Soft),
+		Users:   append([]int(nil), users...),
+		Results: make([]*Result, len(users)),
 	}
-	for _, n := range users {
+	err := ForEachIndex(len(users), base.Parallelism, func(i int) error {
 		cfg := base
-		cfg.Users = n
+		cfg.Users = users[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: workload %d: %w", n, err)
+			return fmt.Errorf("experiment: workload %d: %w", users[i], err)
 		}
-		c.Results = append(c.Results, res)
+		c.Results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -84,16 +92,44 @@ type AllocPoint struct {
 // AllocSweep runs a workload sweep for every soft allocation produced by
 // vary(i) over sizes, e.g. varying the Tomcat thread pool for Fig. 4 /
 // Fig. 10(a) or the DB connection pool for Fig. 5 / Fig. 10(b).
+//
+// The whole (size x workload) grid is one flat batch of independent
+// trials, so base.Parallelism workers stay busy even when a single
+// workload axis is shorter than the worker pool.
 func AllocSweep(base RunConfig, users []int, sizes []int, vary func(testbed.SoftAlloc, int) testbed.SoftAlloc) ([]AllocPoint, error) {
-	var out []AllocPoint
-	for _, size := range sizes {
-		cfg := base
-		cfg.Testbed.Soft = vary(base.Testbed.Soft, size)
-		curve, err := WorkloadSweep(cfg, users)
-		if err != nil {
-			return nil, err
+	if len(sizes) == 0 || len(users) == 0 {
+		var out []AllocPoint
+		for _, size := range sizes {
+			soft := vary(base.Testbed.Soft, size)
+			out = append(out, AllocPoint{Soft: soft, Curve: &Curve{
+				Label: fmt.Sprintf("%s(%s)", base.Testbed.Hardware, soft),
+			}})
 		}
-		out = append(out, AllocPoint{Soft: cfg.Testbed.Soft, Curve: curve})
+		return out, nil
+	}
+	out := make([]AllocPoint, len(sizes))
+	for j, size := range sizes {
+		soft := vary(base.Testbed.Soft, size)
+		out[j] = AllocPoint{Soft: soft, Curve: &Curve{
+			Label:   fmt.Sprintf("%s(%s)", base.Testbed.Hardware, soft),
+			Users:   append([]int(nil), users...),
+			Results: make([]*Result, len(users)),
+		}}
+	}
+	err := ForEachIndex(len(sizes)*len(users), base.Parallelism, func(k int) error {
+		j, i := k/len(users), k%len(users)
+		cfg := base
+		cfg.Testbed.Soft = out[j].Soft
+		cfg.Users = users[i]
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: alloc %s workload %d: %w", out[j].Soft, users[i], err)
+		}
+		out[j].Curve.Results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -97,6 +97,15 @@ var (
 	VaryWebThreads = experiment.VaryWebThreads
 )
 
+// ForEachIndex is the bounded parallel executor behind the sweeps: it runs
+// fn(0..n-1) on up to parallelism workers (0 = one per CPU) with
+// deterministic index-ordered results and lowest-index first-error
+// cancellation. Exposed for custom experiment grids; set
+// RunConfig.Parallelism to control the built-in sweeps instead.
+func ForEachIndex(n, parallelism int, fn func(i int) error) error {
+	return experiment.ForEachIndex(n, parallelism, fn)
+}
+
 // CurveTable renders curves at one SLA threshold.
 func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {
 	return experiment.CurveTable(title, th, curves...)

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -78,12 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
 	}
 
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+
 	for _, soft := range allocs {
 		base := ntier.RunConfig{
 			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
 			Users:   *users,
 			RampUp:  *ramp,
 			Measure: *measure,
+			Ctx:     ctx,
 		}
 		cfg := sc.Configure(base)
 		if *thS > 0 {
@@ -92,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sr, err := ntier.RunScenario(cfg)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return cli.ExitCode(err)
 		}
 		printScenario(stdout, sc.Name, sr)
 		if *csvPath != "" {

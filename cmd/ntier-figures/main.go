@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +38,9 @@ type generator struct {
 	ramp, measure time.Duration
 	seed          uint64
 	parallel      int
+	ctx           context.Context
+	trialTimeout  time.Duration
+	state         *ntier.RunState
 }
 
 func (g *generator) base(hw, soft string) ntier.RunConfig {
@@ -49,11 +53,27 @@ func (g *generator) base(hw, soft string) ntier.RunConfig {
 		log.Fatal(err)
 	}
 	return ntier.RunConfig{
-		Testbed:     ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
-		RampUp:      g.ramp,
-		Measure:     g.measure,
-		Parallelism: g.parallel,
+		Testbed:      ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
+		RampUp:       g.ramp,
+		Measure:      g.measure,
+		Parallelism:  g.parallel,
+		Ctx:          g.ctx,
+		TrialTimeout: g.trialTimeout,
+		State:        g.state,
 	}
+}
+
+// curvesOf collects the curves of an allocation sweep, failing on the
+// first per-trial error: callers dereference individual sweep points.
+func curvesOf(points []ntier.AllocPoint) ([]*ntier.Curve, error) {
+	var curves []*ntier.Curve
+	for _, p := range points {
+		if err := p.Curve.Err(); err != nil {
+			return nil, fmt.Errorf("alloc %s: %w", p.Soft, err)
+		}
+		curves = append(curves, p.Curve)
+	}
+	return curves, nil
 }
 
 func span(lo, hi, step int) []int {
@@ -124,12 +144,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		full     = fs.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		parallel = fs.Int("parallel", 0, "trial/generator worker count (0 = one per CPU, 1 = serial)")
+		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
+		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
+		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *resume && *stateDir == "" {
+		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	}
 
-	g := &generator{ramp: 30 * time.Second, measure: 45 * time.Second, seed: *seed, parallel: *parallel}
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+
+	g := &generator{
+		ramp: 30 * time.Second, measure: 45 * time.Second,
+		seed: *seed, parallel: *parallel,
+		ctx: ctx, trialTimeout: *trialTO,
+	}
 	if *full {
 		g.ramp, g.measure = 8*time.Minute, 12*time.Minute
 	}
@@ -143,11 +176,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *stateDir != "" {
+		// The per-sweep journal fingerprints cover each figure's actual
+		// configurations; the directory fingerprint pins the shared knobs.
+		fp := ntier.Fingerprint(ntier.RunConfig{
+			Testbed: ntier.TestbedOptions{Seed: g.seed},
+			RampUp:  g.ramp, Measure: g.measure,
+		}, "ntier-figures")
+		st, err := ntier.OpenState(*stateDir, fp, *resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		g.state = st
+	}
+
 	// Generators are independent — run them on the same bounded worker
 	// pool the sweeps use. Each writes its own file; the datasets are
 	// byte-identical to a serial run at any -parallel setting.
 	var mu sync.Mutex
-	runErr := experiment.ForEachIndex(len(names), *parallel, func(i int) error {
+	runErr := experiment.ForEachIndexCtx(ctx, len(names), *parallel, func(i int) error {
 		name := names[i]
 		start := time.Now()
 		text, err := registry[name](g)
@@ -165,7 +214,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if runErr != nil {
 		fmt.Fprintln(stderr, runErr)
-		return 1
+		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(runErr) == cli.ExitInterrupted {
+			fmt.Fprintln(stderr, hint)
+		}
+		return cli.ExitCode(runErr)
 	}
 	return 0
 }
@@ -201,6 +253,13 @@ func fig3(g *generator) (string, error) {
 	}
 	high, err := ntier.WorkloadSweep(g.base("1/4/1/4", "400-15-6"), users)
 	if err != nil {
+		return "", err
+	}
+	// The histogram rows below dereference individual sweep points.
+	if err := low.Err(); err != nil {
+		return "", err
+	}
+	if err := high.Err(); err != nil {
 		return "", err
 	}
 	var b strings.Builder
@@ -239,12 +298,12 @@ func fig4(g *generator) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	curves, err := curvesOf(points)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Figure 4: Tomcat thread-pool under/over-allocation, 1/2/1/2 (Apache 400, conns 20)\n\n")
-	var curves []*ntier.Curve
-	for _, p := range points {
-		curves = append(curves, p.Curve)
-	}
 	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
 
 	b.WriteString("\n(d) mean Tomcat CPU utilization [%]\n")
@@ -299,12 +358,12 @@ func fig5(g *generator) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	curves, err := curvesOf(points)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Figure 5: DB connection-pool over-allocation, 1/4/1/4 (Apache 400, threads 200)\n\n")
-	var curves []*ntier.Curve
-	for _, p := range points {
-		curves = append(curves, p.Curve)
-	}
 	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
 
 	b.WriteString("\n(a') overall throughput [req/s]\n")
@@ -349,12 +408,12 @@ func fig6(g *generator) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	curves, err := curvesOf(points)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString("Figure 6: Apache thread-pool buffering, 1/4/1/4 (Tomcat 6 threads / 20 conns)\n\n")
-	var curves []*ntier.Curve
-	for _, p := range points {
-		curves = append(curves, p.Curve)
-	}
 	b.WriteString(ntier.CurveTable("(a) goodput, threshold 2s", 2*time.Second, curves...).String())
 
 	b.WriteString("\n(b) C-JDBC CPU utilization [%] — decreases with workload for small Apache pools\n")
@@ -439,9 +498,12 @@ func table1(g *generator) (string, error) {
 		s, _ := ntier.ParseSoftAlloc("400-15-20")
 		rep, err := ntier.Tune(ntier.TunerConfig{
 			Base: ntier.RunConfig{
-				Testbed: ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
-				RampUp:  g.ramp,
-				Measure: g.measure,
+				Testbed:      ntier.TestbedOptions{Hardware: h, Soft: s, Seed: g.seed},
+				RampUp:       g.ramp,
+				Measure:      g.measure,
+				Ctx:          g.ctx,
+				TrialTimeout: g.trialTimeout,
+				State:        g.state,
 			},
 		})
 		if err != nil {

@@ -62,6 +62,16 @@ func TestRunRejectsUnknownExperimentBeforeRunningAny(t *testing.T) {
 	}
 }
 
+func TestRunRejectsResumeWithoutStateDir(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-out", t.TempDir(), "-resume"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-state-dir") {
+		t.Errorf("stderr %q should name -state-dir", errb.String())
+	}
+}
+
 func TestRunExecutesGeneratorsInParallel(t *testing.T) {
 	// Stub generators keep this fast while exercising the full pipeline:
 	// flag parsing, fan-out, file writing, progress output.

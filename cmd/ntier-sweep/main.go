@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,18 +30,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ntier-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		hwS     = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
-		softS   = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
-		wlS     = fs.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		ramp    = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
-		measure = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
-		vary    = fs.String("vary", "", "pool to sweep: threads, conns, or web")
-		sizesS  = fs.String("sizes", "", "comma-separated pool sizes for -vary")
+		hwS      = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS    = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
+		wlS      = fs.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		ramp     = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure  = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		vary     = fs.String("vary", "", "pool to sweep: threads, conns, or web")
+		sizesS   = fs.String("sizes", "", "comma-separated pool sizes for -vary")
 		thS      = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
 		noGC     = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
 		noFin    = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
 		parallel = fs.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
+		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
+		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
+		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return cli.Fail(fs, err)
 	}
+	if *resume && *stateDir == "" {
+		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	}
+
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
 
 	base := ntier.RunConfig{
 		Testbed: ntier.TestbedOptions{
@@ -66,9 +76,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			DisableGC:      *noGC,
 			DisableFinWait: *noFin,
 		},
-		RampUp:      *ramp,
-		Measure:     *measure,
-		Parallelism: *parallel,
+		RampUp:       *ramp,
+		Measure:      *measure,
+		Parallelism:  *parallel,
+		Ctx:          ctx,
+		TrialTimeout: *trialTO,
+	}
+
+	if *stateDir != "" {
+		fp := ntier.Fingerprint(base, "ntier-sweep", *softS, *wlS, *vary, *sizesS)
+		st, err := ntier.OpenState(*stateDir, fp, *resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		base.State = st
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, err)
+		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
+			fmt.Fprintln(stderr, hint)
+		}
+		return cli.ExitCode(err)
 	}
 
 	var curves []*ntier.Curve
@@ -91,8 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		points, err := ntier.AllocSweep(base, users, sizes, fn)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+			return fail(err)
 		}
 		for _, p := range points {
 			curves = append(curves, p.Curve)
@@ -109,8 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.Testbed.Soft = soft
 			curve, err := ntier.WorkloadSweep(cfg, users)
 			if err != nil {
-				fmt.Fprintln(stderr, err)
-				return 1
+				return fail(err)
 			}
 			curves = append(curves, curve)
 		}

@@ -7,67 +7,110 @@
 //
 //	ntier-tune -hw 1/2/1/2
 //	ntier-tune -hw 1/4/1/4 -validate
+//	ntier-tune -hw 1/4/1/4 -state-dir runs/tune-1412    # crash-safe
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
 	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
 )
 
 func main() {
-	var (
-		hwS      = flag.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
-		softS    = flag.String("soft0", "400-15-20", "initial soft allocation S0")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		ramp     = flag.Duration("ramp", 30*time.Second, "ramp-up period per trial (simulated)")
-		measure  = flag.Duration("measure", 45*time.Second, "measured runtime per trial (simulated)")
-		step     = flag.Int("step", 1000, "coarse workload step")
-		small    = flag.Int("smallstep", 400, "fine workload step")
-		validate = flag.Bool("validate", false, "sweep the recommended pool size (Fig. 10)")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
-		parallel = flag.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	hw, err := ntier.ParseHardware(*hwS)
-	if err != nil {
-		log.Fatal(err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		hwS      = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS    = fs.String("soft0", "400-15-20", "initial soft allocation S0")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		ramp     = fs.Duration("ramp", 30*time.Second, "ramp-up period per trial (simulated)")
+		measure  = fs.Duration("measure", 45*time.Second, "measured runtime per trial (simulated)")
+		step     = fs.Int("step", 1000, "coarse workload step")
+		small    = fs.Int("smallstep", 400, "fine workload step")
+		validate = fs.Bool("validate", false, "sweep the recommended pool size (Fig. 10)")
+		quiet    = fs.Bool("q", false, "suppress progress logging")
+		parallel = fs.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
+		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
+		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
+		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	soft, err := ntier.ParseSoftAlloc(*softS)
+
+	hw, err := cli.ParseHardware(*hwS)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Fail(fs, err)
 	}
+	soft, err := cli.ParseSoftAlloc(*softS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	if *resume && *stateDir == "" {
+		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	}
+
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+
 	cfg := ntier.TunerConfig{
 		Base: ntier.RunConfig{
-			Testbed:     ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
-			RampUp:      *ramp,
-			Measure:     *measure,
-			Parallelism: *parallel,
+			Testbed:      ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
+			RampUp:       *ramp,
+			Measure:      *measure,
+			Parallelism:  *parallel,
+			Ctx:          ctx,
+			TrialTimeout: *trialTO,
 		},
 		Step:      *step,
 		SmallStep: *small,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+			fmt.Fprintf(stderr, "  "+format+"\n", args...)
 		}
+	}
+
+	if *stateDir != "" {
+		fp := ntier.Fingerprint(cfg.Base, "ntier-tune",
+			fmt.Sprint(*step), fmt.Sprint(*small), fmt.Sprint(*validate))
+		st, err := ntier.OpenState(*stateDir, fp, *resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		cfg.Base.State = st
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, err)
+		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
+			fmt.Fprintln(stderr, hint)
+		}
+		return cli.ExitCode(err)
 	}
 
 	rep, err := ntier.Tune(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Print(rep.String())
+	fmt.Fprint(stdout, rep.String())
 
 	if !*validate {
-		return
+		return 0
 	}
-	fmt.Println("\nValidation sweep (Fig. 10): max throughput vs pool size")
+	fmt.Fprintln(stdout, "\nValidation sweep (Fig. 10): max throughput vs pool size")
 	base := cfg.Base
 	base.Testbed.Soft = rep.ReservedSoft
 	var (
@@ -94,9 +137,9 @@ func main() {
 	users := []int{rep.SaturationWL - *small, rep.SaturationWL, rep.SaturationWL + *small}
 	points, err := ntier.AllocSweep(base, users, sizes, varyF)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("%-10s %12s\n", what, "max TP [req/s]")
+	fmt.Fprintf(stdout, "%-10s %12s\n", what, "max TP [req/s]")
 	for _, p := range points {
 		size := p.Soft.AppThreads
 		if rep.Critical.Tier == "cjdbc" {
@@ -106,6 +149,7 @@ func main() {
 		if size == rec {
 			marker = "  <- recommended"
 		}
-		fmt.Printf("%-10d %12.1f%s\n", size, p.Curve.MaxThroughput(), marker)
+		fmt.Fprintf(stdout, "%-10d %12.1f%s\n", size, p.Curve.MaxThroughput(), marker)
 	}
+	return 0
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *users <= 0 {
 		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
 	}
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+
 	cfg := ntier.RunConfig{
 		Testbed: ntier.TestbedOptions{
 			Hardware:       hw,
@@ -65,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Users:   *users,
 		RampUp:  *ramp,
 		Measure: *measure,
+		Ctx:     ctx,
 	}
 	cfg.TraceEvery = *traceN
 	cfg.WindowUtil = *diag
@@ -80,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	res, err := ntier.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return cli.ExitCode(err)
 	}
 	fmt.Fprintln(stdout, res.Describe())
 	fmt.Fprintln(stdout)

@@ -1,10 +1,14 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestParseErrors is the shared malformed-flag test for every ntier
@@ -87,5 +91,66 @@ func TestFail(t *testing.T) {
 	}
 	if !strings.Contains(out, "Usage") && !strings.Contains(out, "-hw") {
 		t.Errorf("Fail output missing usage: %q", out)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{context.Canceled, ExitInterrupted},
+		{fmt.Errorf("sweep: %w", context.Canceled), ExitInterrupted},
+		{errors.New("boom"), 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestResumeHint(t *testing.T) {
+	if got := ResumeHint(""); got != "" {
+		t.Errorf("ResumeHint(\"\") = %q, want empty", got)
+	}
+	got := ResumeHint("runs/sweep1")
+	if !strings.Contains(got, "-state-dir runs/sweep1") || !strings.Contains(got, "-resume") {
+		t.Errorf("ResumeHint = %q, want the resume flags", got)
+	}
+}
+
+func TestWithSignalContext(t *testing.T) {
+	ctx, stop := WithSignalContext(context.Background())
+	if ctx.Err() != nil {
+		t.Fatalf("fresh signal context already done: %v", ctx.Err())
+	}
+	// A SIGINT delivered to the process cancels the context.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context not canceled within 2s of SIGINT")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+	// stop is idempotent.
+	stop()
+	stop()
+}
+
+func TestSignalContextStopReleasesHandler(t *testing.T) {
+	ctx, stop := WithSignalContext(context.Background())
+	stop()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("stopped context err = %v, want context.Canceled", ctx.Err())
 	}
 }

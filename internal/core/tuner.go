@@ -60,6 +60,10 @@ type Config struct {
 
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// journal, when Base.State is set, records every ramp trial so an
+	// interrupted tuning run resumes from its completed trials.
+	journal *experiment.Journal
 }
 
 func (c *Config) applyDefaults() {
@@ -128,9 +132,23 @@ type Report struct {
 	Doublings    int // soft-saturation doublings performed in step 1
 }
 
-// Tune runs the full three-procedure algorithm.
+// Tune runs the full three-procedure algorithm. When cfg.Base.State is
+// set, every ramp trial is journaled under a fingerprint covering the base
+// configuration and the algorithm knobs, so a crashed or canceled tuning
+// run resumed with the same flags replays its completed trials.
 func Tune(cfg Config) (*Report, error) {
 	cfg.applyDefaults()
+	if cfg.Base.State != nil {
+		j, err := cfg.Base.State.Journal("tune", experiment.Fingerprint(cfg.Base, "tune",
+			fmt.Sprint(cfg.Step), fmt.Sprint(cfg.SmallStep),
+			fmt.Sprint(cfg.HWSaturation), fmt.Sprint(cfg.SoftSaturation),
+			fmt.Sprint(cfg.SLA), fmt.Sprint(cfg.WebBufferFactor),
+			fmt.Sprint(cfg.MaxDoublings), fmt.Sprint(cfg.MaxWorkload)))
+		if err != nil {
+			return nil, err
+		}
+		cfg.journal = j
+	}
 	rep := &Report{
 		Hardware:    cfg.Base.Testbed.Hardware,
 		InitialSoft: cfg.Base.Testbed.Soft,
@@ -147,12 +165,14 @@ func Tune(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// run executes one trial at the given soft allocation and workload.
+// run executes one trial at the given soft allocation and workload,
+// consulting the tuning journal when one is open. A per-trial failure is a
+// hard error here: the algorithm's stopping rules read every ramp point.
 func (c *Config) run(soft testbed.SoftAlloc, users int) (*experiment.Result, error) {
 	rc := c.Base
 	rc.Testbed.Soft = soft
 	rc.Users = users
-	return experiment.Run(rc)
+	return experiment.RunJournaled(rc, c.journal)
 }
 
 // batchSize is how many ramp trials run speculatively at once.
@@ -169,7 +189,7 @@ func (c *Config) batchSize() int {
 // the algorithm observes — only how fast it observes it.
 func (c *Config) runBatch(soft testbed.SoftAlloc, workloads []int) ([]*experiment.Result, error) {
 	out := make([]*experiment.Result, len(workloads))
-	err := experiment.ForEachIndex(len(workloads), c.Base.Parallelism, func(i int) error {
+	err := experiment.ForEachIndexCtx(c.Base.Ctx, len(workloads), c.Base.Parallelism, func(i int) error {
 		res, err := c.run(soft, workloads[i])
 		if err != nil {
 			return err

@@ -13,6 +13,7 @@ package des
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -33,6 +34,28 @@ type Env struct {
 	// because Shutdown unwinds parked goroutines concurrently, each
 	// decrementing as it exits while callers may poll Live.
 	procs atomic.Int64
+	// interrupted is the only cross-thread input to a running simulation:
+	// wall-clock watchdogs set it to make Run return at the next event
+	// boundary (Shutdown cannot be called concurrently with Run).
+	interrupted atomic.Bool
+	// failure holds a panic captured from a process goroutine, handed to
+	// the scheduler over the yield channel so runProc can re-raise it in
+	// Run's calling context.
+	failure *ProcPanic
+}
+
+// ProcPanic is a panic that escaped a simulated process. The process
+// goroutine cannot crash the program directly — the scheduler re-raises
+// the captured panic as a *ProcPanic from Run, where the experiment layer
+// can recover it and turn the trial into an error result.
+type ProcPanic struct {
+	Proc  string // diagnostic name passed to Go
+	Value any    // the original panic value
+	Stack []byte // the process goroutine's stack at the panic site
+}
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("des: process %q panicked: %v", pp.Proc, pp.Value)
 }
 
 // NewEnv returns an environment with the clock at zero.
@@ -102,6 +125,9 @@ func (e *Env) Run(until time.Duration) int {
 	}
 	n := 0
 	for len(e.events) > 0 {
+		if e.interrupted.Load() {
+			return n
+		}
 		next := e.events[0]
 		if next.at > until {
 			break
@@ -122,6 +148,17 @@ func (e *Env) Run(until time.Duration) int {
 	return n
 }
 
+// Interrupt asks a running simulation to stop at the next event boundary:
+// Run returns early without advancing the clock further, leaving pending
+// events queued. It is the one Env method safe to call from another
+// operating-system thread while Run executes — wall-clock watchdogs use it
+// to flag stalled simulations, after which the owner observes Interrupted
+// and calls Shutdown.
+func (e *Env) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Env) Interrupted() bool { return e.interrupted.Load() }
+
 // Shutdown unwinds every parked or not-yet-started process so their
 // goroutines exit. After Shutdown the Env is unusable. It is safe to call
 // once Run has returned; calling it from scheduler context panics.
@@ -140,10 +177,11 @@ type killedSentinel struct{}
 // deterministically with the simulation clock. All Proc methods must be
 // called from the process's own goroutine.
 type Proc struct {
-	env  *Env
-	name string
-	wake chan struct{}
-	data any
+	env      *Env
+	name     string
+	wake     chan struct{}
+	data     any
+	cleanups []func()
 }
 
 // SetData attaches arbitrary user data to the process (e.g. a per-request
@@ -152,6 +190,26 @@ func (p *Proc) SetData(v any) { p.data = v }
 
 // Data returns the value set with SetData, or nil.
 func (p *Proc) Data() any { return p.data }
+
+// Defer registers fn to run when the process ends, on every exit path:
+// normal return, a panic captured by the scheduler, and the unwind paths of
+// Shutdown — including processes killed before their first scheduling.
+// Callbacks run in reverse registration order on the process's goroutine.
+//
+// During a Shutdown unwind many goroutines run their callbacks
+// concurrently with no scheduler, so callbacks must not touch the Env or
+// anything that schedules events (no Sleep, Park, pool Acquire/Release);
+// they exist to release external accounting, e.g. resource.Pool.Abandon.
+func (p *Proc) Defer(fn func()) { p.cleanups = append(p.cleanups, fn) }
+
+// runCleanups executes the registered callbacks LIFO, once.
+func (p *Proc) runCleanups() {
+	cs := p.cleanups
+	p.cleanups = nil
+	for i := len(cs) - 1; i >= 0; i-- {
+		cs[i]()
+	}
+}
 
 // Go starts a new process running fn. The process begins executing at the
 // current simulated time (after the caller yields control). name is used in
@@ -163,29 +221,49 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		select {
 		case <-p.wake:
 		case <-e.kill:
-			e.procs.Add(-1) // never started; no scheduler waiting on us
+			// Never started; no scheduler is waiting on us, but the
+			// shutdown cleanups still run to release external accounting.
+			p.runCleanups()
+			e.procs.Add(-1)
 			return
 		}
 		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killedSentinel); ok {
-					return // unwound by Shutdown; scheduler is not waiting
-				}
-				panic(r)
+			r := recover()
+			if _, killed := r.(killedSentinel); killed {
+				p.runCleanups()
+				return // unwound by Shutdown; scheduler is not waiting
 			}
+			// Capture the panic site before cleanups grow the stack.
+			var pp *ProcPanic
+			if r != nil {
+				pp = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+			}
+			p.runCleanups()
+			if pp != nil {
+				// Hand the panic to the scheduler instead of crashing the
+				// program from this goroutine: runProc re-raises it in
+				// Run's calling context, where a trial wrapper can recover.
+				e.failure = pp
+			}
+			e.procs.Add(-1)
+			e.yield <- struct{}{}
 		}()
 		fn(p)
-		e.procs.Add(-1)
-		e.yield <- struct{}{}
 	}()
 	e.At(e.now, func() { e.runProc(p) })
 	return p
 }
 
-// runProc transfers control to p and blocks until p yields again.
+// runProc transfers control to p and blocks until p yields again. If the
+// process died with a real panic, the captured *ProcPanic is re-raised
+// here — in scheduler context — so it propagates out of Run.
 func (e *Env) runProc(p *Proc) {
 	p.wake <- struct{}{}
 	<-e.yield
+	if f := e.failure; f != nil {
+		e.failure = nil
+		panic(f)
+	}
 }
 
 // yield returns control to the scheduler and blocks until this process is

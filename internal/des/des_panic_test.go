@@ -1,0 +1,136 @@
+package des
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProcPanicPropagatesToRunCaller(t *testing.T) {
+	env := NewEnv()
+	env.Go("bystander", func(p *Proc) { p.Sleep(10 * time.Second) })
+	env.Go("bomb", func(p *Proc) {
+		p.Sleep(time.Second)
+		panic("kaboom")
+	})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		env.Run(time.Hour)
+	}()
+	pp, ok := got.(*ProcPanic)
+	if !ok {
+		t.Fatalf("Run recovered %T (%v), want *ProcPanic", got, got)
+	}
+	if pp.Proc != "bomb" {
+		t.Errorf("ProcPanic.Proc = %q, want bomb", pp.Proc)
+	}
+	if pp.Value != "kaboom" {
+		t.Errorf("ProcPanic.Value = %v, want kaboom", pp.Value)
+	}
+	if len(pp.Stack) == 0 {
+		t.Error("ProcPanic.Stack is empty")
+	}
+	if !strings.Contains(pp.Error(), "kaboom") {
+		t.Errorf("Error() = %q, want it to mention the panic value", pp.Error())
+	}
+	// The panicking proc unregistered itself; the bystander can still be
+	// unwound by Shutdown.
+	env.Shutdown()
+	deadline := time.Now().Add(2 * time.Second)
+	for env.Live() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if env.Live() != 0 {
+		t.Fatalf("Live() = %d after Shutdown, want 0", env.Live())
+	}
+}
+
+func TestDeferRunsLIFOOnNormalExit(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Go("worker", func(p *Proc) {
+		p.Defer(func() { order = append(order, "first-registered") })
+		p.Defer(func() { order = append(order, "second-registered") })
+		p.Sleep(time.Second)
+	})
+	env.Run(2 * time.Second)
+	if len(order) != 2 || order[0] != "second-registered" || order[1] != "first-registered" {
+		t.Fatalf("cleanup order %v, want LIFO", order)
+	}
+}
+
+func TestDeferRunsOnShutdownUnwind(t *testing.T) {
+	env := NewEnv()
+	cleaned := make(chan string, 2)
+	env.Go("parked", func(p *Proc) {
+		p.Defer(func() { cleaned <- "parked" })
+		p.Park()
+	})
+	env.Go("sleeping", func(p *Proc) {
+		p.Defer(func() { cleaned <- "sleeping" })
+		p.Sleep(time.Hour)
+	})
+	env.Run(time.Second)
+	env.Shutdown()
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case name := <-cleaned:
+			got[name] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("cleanups after Shutdown: got %v, want both", got)
+		}
+	}
+}
+
+func TestDeferRunsOnPanicUnwind(t *testing.T) {
+	env := NewEnv()
+	cleaned := false
+	env.Go("bomb", func(p *Proc) {
+		p.Defer(func() { cleaned = true })
+		panic("boom")
+	})
+	func() {
+		defer func() { recover() }()
+		env.Run(time.Second)
+	}()
+	if !cleaned {
+		t.Error("Defer did not run when the proc panicked")
+	}
+}
+
+func TestInterruptStopsRunBetweenEvents(t *testing.T) {
+	env := NewEnv()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		env.At(time.Duration(i)*time.Second, func() {
+			fired++
+			if i == 3 {
+				env.Interrupt()
+			}
+		})
+	}
+	env.Run(time.Hour)
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3 (interrupted after the third)", fired)
+	}
+	if !env.Interrupted() {
+		t.Error("Interrupted() = false after Interrupt")
+	}
+	if env.Now() != 3*time.Second {
+		t.Errorf("clock %v at interrupt, want 3s", env.Now())
+	}
+}
+
+func TestInterruptBeforeRun(t *testing.T) {
+	env := NewEnv()
+	fired := false
+	env.At(time.Second, func() { fired = true })
+	env.Interrupt()
+	env.Run(time.Hour)
+	if fired {
+		t.Error("interrupted Run processed an event")
+	}
+}

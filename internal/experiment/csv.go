@@ -11,7 +11,9 @@ import (
 // WriteCSV writes one curve's full per-workload record — throughput,
 // goodput per threshold, error/degraded responses, mean/p95 response time,
 // and per-tier CPU — as CSV for external plotting. The errors column keeps
-// badput visible in fault-scenario curves.
+// badput visible in fault-scenario curves. A workload whose trial failed
+// (Curve.Errs) still gets a row: empty metric cells and the failure in the
+// status column, so a partially-failed sweep remains plottable.
 func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 	cw := csv.NewWriter(w)
 	header := []string{"workload", "throughput"}
@@ -19,15 +21,27 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 		header = append(header, fmt.Sprintf("goodput_%s", th))
 	}
 	header = append(header, "errors", "mean_rt_s", "p95_rt_s",
-		"apache_cpu", "tomcat_cpu", "cjdbc_cpu", "mysql_cpu")
+		"apache_cpu", "tomcat_cpu", "cjdbc_cpu", "mysql_cpu", "status")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i, r := range c.Results {
-		row := []string{
-			strconv.Itoa(c.Users[i]),
-			fmt.Sprintf("%.2f", r.Throughput()),
+		row := []string{strconv.Itoa(c.Users[i])}
+		if r == nil {
+			status := "missing"
+			if i < len(c.Errs) && c.Errs[i] != nil {
+				status = c.Errs[i].Error()
+			}
+			for len(row) < len(header)-1 {
+				row = append(row, "")
+			}
+			row = append(row, status)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			continue
 		}
+		row = append(row, fmt.Sprintf("%.2f", r.Throughput()))
 		for _, th := range thresholds {
 			row = append(row, fmt.Sprintf("%.2f", r.Goodput(th)))
 		}
@@ -39,6 +53,7 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 			fmt.Sprintf("%.4f", TierCPU(r.Tomcat)),
 			fmt.Sprintf("%.4f", TierCPU(r.CJDBC)),
 			fmt.Sprintf("%.4f", TierCPU(r.MySQL)),
+			"ok",
 		)
 		if err := cw.Write(row); err != nil {
 			return err

@@ -31,7 +31,7 @@ func TestWriteCSV(t *testing.T) {
 	if records[0][0] != "workload" || records[1][0] != "300" || records[2][0] != "600" {
 		t.Errorf("rows: %v", records)
 	}
-	wantCols := 2 + len(sla.StandardThresholds) + 7
+	wantCols := 2 + len(sla.StandardThresholds) + 8
 	if len(records[0]) != wantCols {
 		t.Errorf("csv has %d columns, want %d", len(records[0]), wantCols)
 	}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -55,6 +56,30 @@ type RunConfig struct {
 	// affect a single Run, and sweep output is byte-identical at every
 	// setting.
 	Parallelism int
+
+	// Ctx, when set, cancels execution: Run refuses to start once the
+	// context is done, a running simulation is interrupted at its next
+	// event, and sweeps stop claiming new trials. Cancellation surfaces
+	// as the context's own error.
+	Ctx context.Context
+
+	// TrialTimeout is a per-trial wall-clock watchdog (0 = none): a DES
+	// run exceeding it is interrupted and the trial fails with
+	// *TimeoutError instead of wedging the worker pool.
+	TrialTimeout time.Duration
+
+	// State, when set, makes sweeps and tuner ramps crash-safe: each
+	// completed trial is appended to a write-ahead journal under the
+	// state directory, and a re-run (see OpenState's resume) restores
+	// journaled trials instead of simulating them. Single Runs are not
+	// journaled.
+	State *State
+
+	// OnTrial, when set, is invoked as each sweep trial resolves: key
+	// identifies the trial, restored reports a journal hit (no
+	// simulation ran), err carries a per-trial failure (nil on success).
+	// Workers call it concurrently; keep it fast and synchronized.
+	OnTrial func(key string, restored bool, err error)
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -183,14 +208,29 @@ func TierCPU(ss []ServerStats) float64 {
 }
 
 // Run executes one trial: build the topology, ramp the workload, reset all
-// monitors, measure, and collect.
-func Run(cfg RunConfig) (*Result, error) {
+// monitors, measure, and collect. A panic anywhere in the trial — the
+// build, a simulated process (re-raised by the DES scheduler as a
+// *des.ProcPanic), or collection — is recovered into a *PanicError so one
+// bad grid point cannot take down a sweep's worker pool. Cancellation via
+// Ctx and the TrialTimeout watchdog interrupt the simulation between
+// events and shut the testbed down cleanly.
+func Run(cfg RunConfig) (res *Result, err error) {
 	cfg.applyDefaults()
+	if cerr := ctxErr(cfg.Ctx); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError(r)
+		}
+	}()
 	tb, err := testbed.Build(cfg.Testbed)
 	if err != nil {
 		return nil, err
 	}
 	defer tb.Close()
+	dog := startWatchdog(cfg, tb.Env)
+	defer dog.stop()
 
 	collector := sla.NewCollector(cfg.Thresholds)
 	measureStart := cfg.RampUp
@@ -238,12 +278,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	// Ramp up, then reset all monitors so only the runtime window counts.
+	// After each Run leg, check whether the watchdog or a cancellation
+	// interrupted the simulation; the deferred Close unwinds the testbed.
 	tb.Env.Run(measureStart)
+	if aerr := trialAborted(cfg, tb.Env); aerr != nil {
+		return nil, aerr
+	}
 	tb.ResetStats()
 	tb.Env.Run(horizon)
+	if aerr := trialAborted(cfg, tb.Env); aerr != nil {
+		return nil, aerr
+	}
 
 	collector.SetElapsed(cfg.Measure)
-	res := &Result{Config: cfg, SLA: collector, Errors: errCount}
+	res = &Result{Config: cfg, SLA: collector, Errors: errCount}
 	res.Apache, res.Tomcat, res.CJDBC, res.MySQL = collectStats(tb)
 
 	if cfg.Timeline && len(tb.Apaches) > 0 {

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path, fp string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.journal")
+	j := openTestJournal(t, path, "fp")
+	recs := []*TrialRecord{
+		{Key: "soft=400-15-6 wl=300", Result: &resultPayload{Errors: 1}},
+		{Key: "soft=400-15-6 wl=500", Err: "boom", Stack: "stack"},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j = openTestJournal(t, path, "fp")
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("Len() = %d after reopen, want 2", j.Len())
+	}
+	got, ok := j.Lookup("soft=400-15-6 wl=500")
+	if !ok || got.Err != "boom" || got.Stack != "stack" {
+		t.Fatalf("Lookup failure record = %+v, %v", got, ok)
+	}
+	got, ok = j.Lookup("soft=400-15-6 wl=300")
+	if !ok || got.Result == nil || got.Result.Errors != 1 {
+		t.Fatalf("Lookup result record = %+v, %v", got, ok)
+	}
+}
+
+func TestJournalTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.journal")
+	j := openTestJournal(t, path, "fp")
+	for _, key := range []string{"a", "b", "c"} {
+		if err := j.Record(&TrialRecord{Key: key, Result: &resultPayload{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the last record mid-byte, as a crash during append would.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	j = openTestJournal(t, path, "fp")
+	if j.Len() != 2 {
+		t.Fatalf("Len() = %d after torn-tail open, want 2 salvaged", j.Len())
+	}
+	if j.SalvagedBytes() == 0 {
+		t.Error("SalvagedBytes() = 0, want the torn bytes counted")
+	}
+	if _, ok := j.Lookup("c"); ok {
+		t.Error("torn record still visible after recovery")
+	}
+	for _, key := range []string{"a", "b"} {
+		if _, ok := j.Lookup(key); !ok {
+			t.Errorf("intact record %q lost in recovery", key)
+		}
+	}
+	// The truncated journal must accept appends again.
+	if err := j.Record(&TrialRecord{Key: "c", Result: &resultPayload{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j = openTestJournal(t, path, "fp")
+	defer j.Close()
+	if j.Len() != 3 {
+		t.Fatalf("Len() = %d after re-append, want 3", j.Len())
+	}
+}
+
+func TestJournalChecksumMismatchTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.journal")
+	j := openTestJournal(t, path, "fp")
+	if err := j.Record(&TrialRecord{Key: "keep", Result: &resultPayload{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(&TrialRecord{Key: "corrupt", Result: &resultPayload{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the last record's payload: framing intact, CRC not.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j = openTestJournal(t, path, "fp")
+	defer j.Close()
+	if _, ok := j.Lookup("corrupt"); ok {
+		t.Error("record with bad checksum survived")
+	}
+	if _, ok := j.Lookup("keep"); !ok {
+		t.Error("intact record lost")
+	}
+}
+
+func TestJournalRefusesForeignFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.journal")
+	j := openTestJournal(t, path, "fp-one")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, "fp-two"); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+}

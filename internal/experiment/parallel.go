@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -20,9 +21,19 @@ func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 // same error serial execution would have reported when failures are a
 // deterministic function of the index.
 func ForEachIndex(n, parallelism int, fn func(i int) error) error {
+	return ForEachIndexCtx(nil, n, parallelism, fn)
+}
+
+// ForEachIndexCtx is ForEachIndex honoring a context (nil = none): once
+// ctx is done no new indices are claimed, trials already in flight run to
+// completion, and — unless an earlier-indexed trial error takes
+// precedence — the context's error is returned. Cancellation between
+// trials is what lets a SIGINT-ed sweep stop at a journal-clean boundary.
+func ForEachIndexCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
 	p := parallelism
 	if p <= 0 {
 		p = DefaultParallelism()
@@ -32,6 +43,9 @@ func ForEachIndex(n, parallelism int, fn func(i int) error) error {
 	}
 	if p == 1 {
 		for i := 0; i < n; i++ {
+			if canceled() {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -48,7 +62,7 @@ func ForEachIndex(n, parallelism int, fn func(i int) error) error {
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if firstErr != nil || next >= n || canceled() {
 			return -1
 		}
 		i := next
@@ -80,5 +94,11 @@ func ForEachIndex(n, parallelism int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if canceled() {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -141,12 +141,17 @@ func (sr *ScenarioResult) Describe() string {
 // the timeline with recovery statistics.
 func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	cfg.applyDefaults()
+	if cerr := ctxErr(cfg.Run.Ctx); cerr != nil {
+		return nil, cerr
+	}
 	cfg.Run.Testbed.Resilience = cfg.Resilience
 	tb, err := testbed.Build(cfg.Run.Testbed)
 	if err != nil {
 		return nil, err
 	}
 	defer tb.Close()
+	dog := startWatchdog(cfg.Run, tb.Env)
+	defer dog.stop()
 
 	measureStart := cfg.Run.RampUp
 	horizon := cfg.Run.RampUp + cfg.Run.Measure
@@ -226,10 +231,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	tb.Env.Run(measureStart)
+	if aerr := trialAborted(cfg.Run, tb.Env); aerr != nil {
+		return nil, aerr
+	}
 	tb.ResetStats()
 	tb.Env.Run(horizon)
 	if ctl != nil {
 		ctl.Stop()
+	}
+	if aerr := trialAborted(cfg.Run, tb.Env); aerr != nil {
+		return nil, aerr
 	}
 
 	collector.SetElapsed(cfg.Run.Measure)

@@ -9,27 +9,57 @@ import (
 )
 
 // Curve is one goodput-vs-workload series (one line of a paper figure).
+// A contained per-trial failure (panic, watchdog timeout) leaves a nil
+// entry in Results and the error in the matching Errs slot; the metric
+// accessors treat such points as zero.
 type Curve struct {
 	Label   string
 	Users   []int
 	Results []*Result
+	Errs    []error
+}
+
+// Err returns the first per-trial failure in workload order, or nil when
+// every point completed. Renderers that index Results directly should
+// check this first.
+func (c *Curve) Err() error {
+	for i, e := range c.Errs {
+		if e != nil {
+			return fmt.Errorf("experiment: workload %d: %w", c.Users[i], e)
+		}
+	}
+	return nil
 }
 
 // WorkloadSweep runs base at each user count and returns the curve. The
 // trials are independent, so they fan out across base.Parallelism workers
 // (0 = one per CPU); results stay in workload order and are identical to
 // a serial sweep.
+//
+// When base.State is set, completed trials are journaled and a resumed
+// sweep restores them instead of re-simulating. Contained per-trial
+// failures become error rows (Curve.Errs) while the rest of the sweep
+// keeps going; cancellation via base.Ctx aborts between trials.
 func WorkloadSweep(base RunConfig, users []int) (*Curve, error) {
 	c := &Curve{
 		Label:   fmt.Sprintf("%s(%s)", base.Testbed.Hardware, base.Testbed.Soft),
 		Users:   append([]int(nil), users...),
 		Results: make([]*Result, len(users)),
+		Errs:    make([]error, len(users)),
 	}
-	err := ForEachIndex(len(users), base.Parallelism, func(i int) error {
+	j, err := sweepJournal(base, "workload", fmt.Sprint(users))
+	if err != nil {
+		return nil, err
+	}
+	err = ForEachIndexCtx(base.Ctx, len(users), base.Parallelism, func(i int) error {
 		cfg := base
 		cfg.Users = users[i]
-		res, err := Run(cfg)
+		res, err := RunJournaled(cfg, j)
 		if err != nil {
+			if IsTrialFailure(err) {
+				c.Errs[i] = err
+				return nil
+			}
 			return fmt.Errorf("experiment: workload %d: %w", users[i], err)
 		}
 		c.Results[i] = res
@@ -41,29 +71,38 @@ func WorkloadSweep(base RunConfig, users []int) (*Curve, error) {
 	return c, nil
 }
 
-// Goodputs returns the series of goodput values at the threshold.
+// Goodputs returns the series of goodput values at the threshold (zero
+// for failed points).
 func (c *Curve) Goodputs(th time.Duration) []float64 {
 	out := make([]float64, len(c.Results))
 	for i, r := range c.Results {
-		out[i] = r.Goodput(th)
+		if r != nil {
+			out[i] = r.Goodput(th)
+		}
 	}
 	return out
 }
 
-// Throughputs returns the overall-throughput series.
+// Throughputs returns the overall-throughput series (zero for failed
+// points).
 func (c *Curve) Throughputs() []float64 {
 	out := make([]float64, len(c.Results))
 	for i, r := range c.Results {
-		out[i] = r.Throughput()
+		if r != nil {
+			out[i] = r.Throughput()
+		}
 	}
 	return out
 }
 
 // MaxThroughput returns the highest overall throughput across the sweep —
-// the paper's Fig. 10 "max TP" metric.
+// the paper's Fig. 10 "max TP" metric. Failed points are skipped.
 func (c *Curve) MaxThroughput() float64 {
 	best := 0.0
 	for _, r := range c.Results {
+		if r == nil {
+			continue
+		}
 		if tp := r.Throughput(); tp > best {
 			best = tp
 		}
@@ -71,10 +110,14 @@ func (c *Curve) MaxThroughput() float64 {
 	return best
 }
 
-// MaxGoodput returns the highest goodput at the threshold across the sweep.
+// MaxGoodput returns the highest goodput at the threshold across the
+// sweep. Failed points are skipped.
 func (c *Curve) MaxGoodput(th time.Duration) float64 {
 	best := 0.0
 	for _, r := range c.Results {
+		if r == nil {
+			continue
+		}
 		if g := r.Goodput(th); g > best {
 			best = g
 		}
@@ -108,21 +151,34 @@ func AllocSweep(base RunConfig, users []int, sizes []int, vary func(testbed.Soft
 		return out, nil
 	}
 	out := make([]AllocPoint, len(sizes))
+	softs := make([]string, len(sizes))
 	for j, size := range sizes {
 		soft := vary(base.Testbed.Soft, size)
 		out[j] = AllocPoint{Soft: soft, Curve: &Curve{
 			Label:   fmt.Sprintf("%s(%s)", base.Testbed.Hardware, soft),
 			Users:   append([]int(nil), users...),
 			Results: make([]*Result, len(users)),
+			Errs:    make([]error, len(users)),
 		}}
+		softs[j] = soft.String()
 	}
-	err := ForEachIndex(len(sizes)*len(users), base.Parallelism, func(k int) error {
+	// vary is a closure and cannot be fingerprinted; the allocations it
+	// produced can, and they are what determines the grid's outcomes.
+	jnl, err := sweepJournal(base, "alloc", fmt.Sprint(users), fmt.Sprint(softs))
+	if err != nil {
+		return nil, err
+	}
+	err = ForEachIndexCtx(base.Ctx, len(sizes)*len(users), base.Parallelism, func(k int) error {
 		j, i := k/len(users), k%len(users)
 		cfg := base
 		cfg.Testbed.Soft = out[j].Soft
 		cfg.Users = users[i]
-		res, err := Run(cfg)
+		res, err := RunJournaled(cfg, jnl)
 		if err != nil {
+			if IsTrialFailure(err) {
+				out[j].Curve.Errs[i] = err
+				return nil
+			}
 			return fmt.Errorf("experiment: alloc %s workload %d: %w", out[j].Soft, users[i], err)
 		}
 		out[j].Curve.Results[i] = res
@@ -213,10 +269,13 @@ func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {
 	for i, n := range curves[0].Users {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, c := range curves {
-			if i < len(c.Results) {
-				row = append(row, fmt.Sprintf("%.1f", c.Results[i].Goodput(th)))
-			} else {
+			switch {
+			case i >= len(c.Results):
 				row = append(row, "-")
+			case c.Results[i] == nil:
+				row = append(row, "ERR")
+			default:
+				row = append(row, fmt.Sprintf("%.1f", c.Results[i].Goodput(th)))
 			}
 		}
 		t.AddRow(row...)

@@ -1,0 +1,146 @@
+// Per-trial fault containment: panic recovery and the wall-clock
+// watchdog. A panicking simulation — a model bug at one grid point — must
+// not kill the sweep's worker pool or lose the campaign's completed
+// trials, and a wedged DES run must not hang the process forever. Both
+// degrade into typed per-trial errors the sweeps turn into error rows.
+
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+)
+
+// PanicError is a panicking trial converted into an error. The panic —
+// typically a *des.ProcPanic re-raised by the scheduler, or a testbed
+// build panic — is captured with its stack so the failure is reportable
+// as a per-trial error row. Panics are deterministic functions of the
+// configuration, so journals record them and resume does not retry.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack string // goroutine stack captured at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment: trial panicked: %v", e.Value)
+}
+
+// newPanicError wraps a recovered value, preferring the process-side
+// stack a *des.ProcPanic carries over this (scheduler-side) goroutine's.
+func newPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	if pp, ok := r.(*des.ProcPanic); ok {
+		return &PanicError{
+			Value: pp.Value,
+			Stack: fmt.Sprintf("process %q:\n%s", pp.Proc, pp.Stack),
+		}
+	}
+	return &PanicError{Value: r, Stack: string(debug.Stack())}
+}
+
+// TimeoutError reports a trial whose wall-clock watchdog fired: the DES
+// run was interrupted with the simulated clock at SimTime and the testbed
+// shut down. Timeouts are environmental (load, scheduling), so they are
+// not journaled — a resumed campaign retries the trial.
+type TimeoutError struct {
+	Timeout time.Duration // the RunConfig.TrialTimeout that expired
+	SimTime time.Duration // simulated clock when the watchdog fired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("experiment: trial exceeded the %v wall-clock watchdog (simulated clock at %v)", e.Timeout, e.SimTime)
+}
+
+// IsTrialFailure reports whether err is a contained per-trial failure —
+// a panic or a watchdog timeout — that sweeps convert into an error row
+// and keep going, as opposed to an error that aborts the campaign
+// (cancellation, unbuildable configuration, journal I/O).
+func IsTrialFailure(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var te *TimeoutError
+	return errors.As(err, &te)
+}
+
+// watchdog interrupts a DES run when the trial context is canceled or the
+// wall-clock budget expires.
+type watchdog struct {
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// startWatchdog arms the watchdog for one trial, or returns nil when
+// neither a context nor a timeout is configured. env.Interrupt is the only
+// cross-thread call made.
+func startWatchdog(cfg RunConfig, env *des.Env) *watchdog {
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+	if ctxDone == nil && cfg.TrialTimeout <= 0 {
+		return nil
+	}
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if cfg.TrialTimeout > 0 {
+		timer = time.NewTimer(cfg.TrialTimeout)
+		timerC = timer.C
+	}
+	w := &watchdog{stopc: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		if timer != nil {
+			defer timer.Stop()
+		}
+		select {
+		case <-w.stopc:
+		case <-ctxDone:
+			env.Interrupt()
+		case <-timerC:
+			env.Interrupt()
+		}
+	}()
+	return w
+}
+
+// stop disarms the watchdog and waits for its goroutine, so no Interrupt
+// can land on a later trial's Env. Safe on nil.
+func (w *watchdog) stop() {
+	if w == nil {
+		return
+	}
+	close(w.stopc)
+	<-w.done
+}
+
+// trialAborted classifies an interrupted DES run: the context's own error
+// when it was canceled, a *TimeoutError when the watchdog expired, nil
+// when the run completed undisturbed.
+func trialAborted(cfg RunConfig, env *des.Env) error {
+	if !env.Interrupted() {
+		return nil
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return &TimeoutError{Timeout: cfg.TrialTimeout, SimTime: env.Now()}
+}
+
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

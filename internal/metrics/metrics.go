@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -121,6 +122,30 @@ func (s *Sample) Percentile(p float64) float64 {
 // The caller must not modify the returned slice.
 func (s *Sample) Values() []float64 { return s.values }
 
+// sampleJSON mirrors Sample for the experiment journal. encoding/json
+// round-trips float64 exactly (shortest decimal representation), and the
+// values keep their current order, so order-dependent statistics (Mean's
+// summation, Percentile's first sort) are bit-identical after a reload.
+type sampleJSON struct {
+	Values []float64 `json:"values"`
+	Sorted bool      `json:"sorted,omitempty"`
+}
+
+// MarshalJSON serializes the sample, preserving observation order.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleJSON{Values: s.values, Sorted: s.sorted})
+}
+
+// UnmarshalJSON restores a sample serialized with MarshalJSON.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var v sampleJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	s.values, s.sorted = v.Values, v.Sorted
+	return nil
+}
+
 // FractionBelow returns the fraction of observations <= x.
 func (s *Sample) FractionBelow(x float64) float64 {
 	n := len(s.values)
@@ -189,6 +214,31 @@ func (h *Histogram) Fractions() []float64 {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// histogramJSON mirrors Histogram for the experiment journal.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Total  uint64    `json:"total"`
+}
+
+// MarshalJSON serializes the histogram.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Bounds: h.bounds, Counts: h.counts, Total: h.total})
+}
+
+// UnmarshalJSON restores a histogram serialized with MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Bounds) == 0 || len(v.Counts) != len(v.Bounds)+1 {
+		return fmt.Errorf("metrics: histogram with %d bounds and %d counts", len(v.Bounds), len(v.Counts))
+	}
+	h.bounds, h.counts, h.total = v.Bounds, v.Counts, v.Total
+	return nil
+}
 
 // Labels returns human-readable bucket labels, e.g. "[0.2,0.4)".
 func (h *Histogram) Labels() []string {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -272,5 +273,69 @@ func TestSamplePercentileMatchesSort(t *testing.T) {
 	}
 	if got := s.Percentile(100); got != vals[len(vals)-1] {
 		t.Errorf("P100 = %v, want %v", got, vals[len(vals)-1])
+	}
+}
+
+func TestSampleJSONRoundTripPreservesOrder(t *testing.T) {
+	s := &Sample{}
+	for _, v := range []float64{3.5, 1.25, 2.75, 0.125} {
+		s.Add(v)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sample
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Values()
+	got := back.Values()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip has %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %v, want %v (insertion order must survive)", i, got[i], want[i])
+		}
+	}
+	// Percentile (which sorts in place) must agree after the round trip.
+	if got, want := back.Percentile(95), s.Percentile(95); got != want {
+		t.Errorf("Percentile(95) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8, 8} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Histogram{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() {
+		t.Errorf("Total() = %d, want %d", back.Total(), h.Total())
+	}
+	got, want := back.Buckets(), h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramJSONRejectsMismatchedCounts(t *testing.T) {
+	bad := []byte(`{"bounds":[1,2],"counts":[0,1],"total":1}`)
+	h := &Histogram{}
+	if err := json.Unmarshal(bad, h); err == nil {
+		t.Error("mismatched counts/bounds unmarshaled without error")
 	}
 }

@@ -6,6 +6,7 @@ package resource
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/softres/ntier/internal/des"
@@ -59,6 +60,10 @@ type Pool struct {
 	timeouts  uint64
 	totalWait time.Duration
 	maxQueue  int
+
+	// abandonMu serializes Abandon, which — unlike every other method —
+	// runs from process goroutines unwinding concurrently during Shutdown.
+	abandonMu sync.Mutex
 }
 
 // NewPool creates a pool of `capacity` units. Capacity must be positive.
@@ -236,6 +241,22 @@ func (pl *Pool) Release() {
 	}
 	// No waiter, or the pool is draining toward a smaller capacity.
 	pl.inUse--
+}
+
+// Abandon returns one unit's accounting without waking waiters, touching
+// statistics, or scheduling events — the shutdown-safe counterpart of
+// Release. Register it with des.Proc.Defer so a process killed mid-hold by
+// Env.Shutdown (e.g. a watchdog-flagged trial) still balances the pool's
+// books: several goroutines may unwind at once, with no scheduler running,
+// which is exactly when Release's event-queue interaction is unsafe.
+// Abandoning with nothing in use is a no-op; it must not be mixed with live
+// simulation traffic.
+func (pl *Pool) Abandon() {
+	pl.abandonMu.Lock()
+	defer pl.abandonMu.Unlock()
+	if pl.inUse > 0 {
+		pl.inUse--
+	}
 }
 
 // Leak bleeds n units out of the pool — a connection-leak fault. Free units

@@ -5,6 +5,7 @@
 package sla
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -110,6 +111,52 @@ func (c *Collector) ResponseTimes() *metrics.Sample { return &c.rts }
 
 // Histogram returns the Fig. 3(c)-style response-time distribution.
 func (c *Collector) Histogram() *metrics.Histogram { return c.hist }
+
+// collectorJSON mirrors Collector for the experiment journal. Durations
+// serialize as integer nanoseconds and counters as integers, so a restored
+// collector reports rates and ratios bit-identical to the original.
+type collectorJSON struct {
+	Thresholds []time.Duration    `json:"thresholds"`
+	Good       []uint64           `json:"good"`
+	Total      uint64             `json:"total"`
+	Elapsed    time.Duration      `json:"elapsed"`
+	RTs        *metrics.Sample    `json:"rts"`
+	Hist       *metrics.Histogram `json:"hist,omitempty"`
+}
+
+// MarshalJSON serializes the collector's full observation state.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(collectorJSON{
+		Thresholds: c.thresholds,
+		Good:       c.good,
+		Total:      c.total,
+		Elapsed:    c.elapsed,
+		RTs:        &c.rts,
+		Hist:       c.hist,
+	})
+}
+
+// UnmarshalJSON restores a collector serialized with MarshalJSON.
+func (c *Collector) UnmarshalJSON(data []byte) error {
+	var v collectorJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Good) != len(v.Thresholds) {
+		return fmt.Errorf("sla: collector with %d thresholds and %d good counters", len(v.Thresholds), len(v.Good))
+	}
+	c.thresholds = v.Thresholds
+	c.good = v.Good
+	c.total = v.Total
+	c.elapsed = v.Elapsed
+	if v.RTs != nil {
+		c.rts = *v.RTs
+	} else {
+		c.rts = metrics.Sample{}
+	}
+	c.hist = v.Hist
+	return nil
+}
 
 // Revenue computes provider revenue under a simple earning/penalty model:
 // earn per good request, pay penalty per bad request (paper §II-B).

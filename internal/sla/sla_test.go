@@ -1,6 +1,7 @@
 package sla
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -128,5 +129,48 @@ func TestZeroElapsedRates(t *testing.T) {
 	c.Observe(time.Second)
 	if c.Throughput() != 0 || c.Goodput(time.Second) != 0 {
 		t.Error("rates should be 0 without elapsed set")
+	}
+}
+
+func TestCollectorJSONRoundTrip(t *testing.T) {
+	c := NewCollector(StandardThresholds)
+	for _, rt := range []time.Duration{
+		100 * time.Millisecond, 700 * time.Millisecond, 1500 * time.Millisecond, 3 * time.Second,
+	} {
+		c.Observe(rt)
+	}
+	c.SetElapsed(10 * time.Second)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Collector{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != c.Total() {
+		t.Errorf("Total() = %d, want %d", back.Total(), c.Total())
+	}
+	if got, want := back.Throughput(), c.Throughput(); got != want {
+		t.Errorf("Throughput() = %v, want %v", got, want)
+	}
+	for _, th := range StandardThresholds {
+		if got, want := back.Goodput(th), c.Goodput(th); got != want {
+			t.Errorf("Goodput(%v) = %v, want %v", th, got, want)
+		}
+	}
+	if got, want := back.ResponseTimes().Mean(), c.ResponseTimes().Mean(); got != want {
+		t.Errorf("mean RT = %v, want %v", got, want)
+	}
+	if got, want := back.Histogram().Total(), c.Histogram().Total(); got != want {
+		t.Errorf("histogram total = %d, want %d", got, want)
+	}
+}
+
+func TestCollectorJSONRejectsMismatchedThresholds(t *testing.T) {
+	bad := []byte(`{"thresholds":[1000000000],"good":[1,2],"total":2}`)
+	c := &Collector{}
+	if err := json.Unmarshal(bad, c); err == nil {
+		t.Error("mismatched good/thresholds unmarshaled without error")
 	}
 }

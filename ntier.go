@@ -27,6 +27,7 @@
 package ntier
 
 import (
+	"context"
 	"time"
 
 	"github.com/softres/ntier/internal/adaptive"
@@ -105,6 +106,44 @@ var (
 func ForEachIndex(n, parallelism int, fn func(i int) error) error {
 	return experiment.ForEachIndex(n, parallelism, fn)
 }
+
+// ForEachIndexCtx is ForEachIndex honoring a context: once ctx is done no
+// new indices start, in-flight work finishes, and the context's error is
+// returned unless an earlier trial error takes precedence.
+func ForEachIndexCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	return experiment.ForEachIndexCtx(ctx, n, parallelism, fn)
+}
+
+// Crash-safe campaigns (set RunConfig.State; see EXPERIMENTS.md).
+type (
+	// RunState is a run-state directory holding the write-ahead journals
+	// of a campaign, enabling interrupt/crash + resume.
+	RunState = experiment.State
+	// PanicError is a panicking trial contained as a per-trial error.
+	PanicError = experiment.PanicError
+	// TimeoutError reports a trial killed by RunConfig.TrialTimeout.
+	TimeoutError = experiment.TimeoutError
+)
+
+// ErrFingerprintMismatch reports a resume attempt whose flags differ from
+// the run that created the state directory.
+var ErrFingerprintMismatch = experiment.ErrFingerprintMismatch
+
+// OpenState creates or (with resume) reopens a run-state directory for
+// the invocation identified by fingerprint.
+func OpenState(dir, fingerprint string, resume bool) (*RunState, error) {
+	return experiment.OpenState(dir, fingerprint, resume)
+}
+
+// Fingerprint hashes the trial-determining parts of a configuration plus
+// extra sweep axes into a short stable identifier for OpenState.
+func Fingerprint(base RunConfig, extra ...string) string {
+	return experiment.Fingerprint(base, extra...)
+}
+
+// IsTrialFailure reports whether err is a contained per-trial failure (a
+// panic or watchdog timeout) rather than a campaign-level error.
+func IsTrialFailure(err error) bool { return experiment.IsTrialFailure(err) }
 
 // CurveTable renders curves at one SLA threshold.
 func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {

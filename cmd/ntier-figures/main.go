@@ -41,6 +41,7 @@ type generator struct {
 	ctx           context.Context
 	trialTimeout  time.Duration
 	state         *ntier.RunState
+	obsDir        string
 }
 
 func (g *generator) base(hw, soft string) ntier.RunConfig {
@@ -60,6 +61,7 @@ func (g *generator) base(hw, soft string) ntier.RunConfig {
 		Ctx:          g.ctx,
 		TrialTimeout: g.trialTimeout,
 		State:        g.state,
+		ObsDir:       g.obsDir,
 	}
 }
 
@@ -147,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
 		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
 		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
+		obsDir   = fs.String("obs", "", "record per-trial observability snapshots into DIR (see ntier-report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -162,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ramp: 30 * time.Second, measure: 45 * time.Second,
 		seed: *seed, parallel: *parallel,
 		ctx: ctx, trialTimeout: *trialTO,
+		obsDir: *obsDir,
 	}
 	if *full {
 		g.ramp, g.measure = 8*time.Minute, 12*time.Minute

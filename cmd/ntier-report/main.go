@@ -1,0 +1,92 @@
+// Command ntier-report renders a run report from the observability
+// snapshots a sweep, tune, or figures run recorded with -obs: a per-step
+// bottleneck-attribution table (the paper's critical-resource detection),
+// the Fig. 2/5/8 signature findings, a CSV of the step verdicts, and one
+// self-contained SVG timeline per trial.
+//
+//	ntier-sweep -hw 1/2/1/2 -soft 400-6-6 -wl 5000:6800:600 -obs runs/under
+//	ntier-report -obs runs/under
+//
+// The text report goes to stdout; report.csv and obs-*.svg are written to
+// -out (default: the -obs directory itself).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
+	"github.com/softres/ntier/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		obsDir  = fs.String("obs", "", "directory of obs-*.json snapshots (from a run with -obs)")
+		outDir  = fs.String("out", "", "directory for report.csv and SVG timelines (default: the -obs directory)")
+		noSVG   = fs.Bool("no-svg", false, "skip the SVG timelines")
+		hwSat   = fs.Float64("hw-saturation", 0, "hardware saturation threshold (default 0.95)")
+		softSat = fs.Float64("soft-saturation", 0, "soft-resource saturation threshold (default 0.5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *obsDir == "" {
+		return cli.Fail(fs, fmt.Errorf("-obs DIR is required"))
+	}
+	if *outDir == "" {
+		*outDir = *obsDir
+	}
+	cfg := ntier.JudgeConfig{HWSaturation: *hwSat, SoftSaturation: *softSat}
+
+	trials, err := obs.ReadDir(*obsDir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	groups := obs.GroupTrials(trials)
+	fmt.Fprint(stdout, obs.RenderReport(groups, cfg))
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	csvPath := filepath.Join(*outDir, "report.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := obs.WriteReportCSV(f, groups, cfg); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	written := []string{csvPath}
+	if !*noSVG {
+		for _, t := range trials {
+			p := filepath.Join(*outDir, t.SVGFileName())
+			if err := os.WriteFile(p, obs.RenderSVG(t), 0o644); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			written = append(written, p)
+		}
+	}
+	fmt.Fprintf(stdout, "\nwrote %d files to %s (report.csv%s)\n",
+		len(written), *outDir, map[bool]string{true: "", false: " + SVG timelines"}[*noSVG])
+	return 0
+}

@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
 		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
 		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
+		obsDir   = fs.String("obs", "", "record per-trial observability snapshots into DIR (see ntier-report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:  *parallel,
 		Ctx:          ctx,
 		TrialTimeout: *trialTO,
+		ObsDir:       *obsDir,
+		Obs:          ntier.ObsConfig{SLA: *thS},
 	}
 
 	if *stateDir != "" {

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
 		traceN  = fs.Uint64("trace", 0, "sample one request in N for phase tracing (0 = off)")
 		diag    = fs.Bool("diagnose", false, "classify the bottleneck pattern from windowed utilization")
+		obsDir  = fs.String("obs", "", "record an observability snapshot into DIR (see ntier-report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.TraceEvery = *traceN
 	cfg.WindowUtil = *diag
+	cfg.ObsDir = *obsDir
 	switch *mix {
 	case "browse":
 		cfg.Mix = ntier.BrowseOnlyMix()

@@ -1,5 +1,9 @@
 // Package cli holds the flag parsing and error handling shared by the
-// ntier command-line tools. All parsers return errors that name the
+// ntier command-line tools. The parsers accept the paper's configuration
+// notation verbatim: hardware configurations written #W/#A/#C/#D such as
+// "1/2/1/2" (§II-B, Fig. 1) and soft allocations written Wt-At-Ac such as
+// "400-15-6" (Apache workers, Tomcat threads, DB connections per Tomcat —
+// the axes varied in Figs. 2–8). All parsers return errors that name the
 // offending value; commands turn those into a usage message and a
 // non-zero exit through Fail.
 package cli

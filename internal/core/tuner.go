@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/obs"
 	"github.com/softres/ntier/internal/queuing"
 	"github.com/softres/ntier/internal/stats"
 	"github.com/softres/ntier/internal/testbed"
@@ -214,42 +215,21 @@ func rampWorkloads(start, step, max, n int) []int {
 	return out
 }
 
-// satResource is one saturated hardware resource observation.
-type satResource struct {
-	stats    experiment.ServerStats
-	resource string // "CPU" or "disk"
-	util     float64
+// judge classifies one ramp trial through the obs bottleneck analyzer —
+// the same detection rules cmd/ntier-report applies — replacing the
+// tuner's former ad-hoc saturation scan.
+func (c *Config) judge(res *experiment.Result) obs.Verdict {
+	return obs.Judge(experiment.Summarize(res, c.SLA), obs.JudgeConfig{
+		HWSaturation:   c.HWSaturation,
+		SoftSaturation: c.SoftSaturation,
+	})
 }
 
-// saturatedHardware returns the hardware resources (CPU or disk) that
-// reached the saturation threshold, most utilized first.
-func (c *Config) saturatedHardware(res *experiment.Result) []satResource {
-	var out []satResource
-	for _, s := range res.Servers() {
-		if s.CPUUtil >= c.HWSaturation {
-			out = append(out, satResource{stats: s, resource: "CPU", util: s.CPUUtil})
-		}
-		if s.DiskUtil >= c.HWSaturation {
-			out = append(out, satResource{stats: s, resource: "disk", util: s.DiskUtil})
-		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].util > out[j-1].util; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// saturatedSoft returns the names of pools acting as software bottlenecks.
-func (c *Config) saturatedSoft(res *experiment.Result) []string {
-	var out []string
-	for _, s := range res.Servers() {
-		for _, pl := range s.Pools {
-			if pl.Saturated >= c.SoftSaturation {
-				out = append(out, pl.Name)
-			}
-		}
+// softNames lists the saturated pools' names for logging.
+func softNames(soft []obs.SoftResource) []string {
+	out := make([]string, len(soft))
+	for i, p := range soft {
+		out[i] = p.Name
 	}
 	return out
 }
@@ -275,20 +255,22 @@ ramp:
 				tp := res.Throughput()
 				c.logf("find-critical: soft=%s workload=%d tp=%.1f", soft, wl, tp)
 
-				if hw := c.saturatedHardware(res); len(hw) > 0 {
+				v := c.judge(res)
+				if v.HardwareLimited() {
+					top := v.SaturatedHW[0]
 					rep.ReservedSoft = soft
 					rep.Critical = Critical{
-						Tier:        hw[0].stats.Tier,
-						Server:      hw[0].stats.Name,
-						Resource:    hw[0].resource,
+						Tier:        top.Tier,
+						Server:      top.Server,
+						Resource:    top.Resource,
 						Workload:    wl,
-						Utilization: hw[0].util,
+						Utilization: top.Util,
 					}
 					c.logf("find-critical: hardware saturation at %s %s (%.0f%%)",
-						hw[0].stats.Name, hw[0].resource, hw[0].util*100)
+						top.Server, top.Resource, top.Util*100)
 					return nil
 				}
-				if softSat := c.saturatedSoft(res); len(softSat) > 0 {
+				if softSat := softNames(v.SaturatedSoft); len(softSat) > 0 {
 					if rep.Doublings >= c.MaxDoublings {
 						return fmt.Errorf("core: soft resources still saturate after %d doublings (%v)", rep.Doublings, softSat)
 					}

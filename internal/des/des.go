@@ -1,4 +1,8 @@
-// Package des implements a deterministic discrete-event simulation engine.
+// Package des implements a deterministic discrete-event simulation engine —
+// the substrate replacing the paper's physical Emulab testbed (§II-B).
+// Every experiment behind the paper's figures runs on this clock, and its
+// strict determinism is what makes the reproduction's trials replayable
+// and its parallel sweeps byte-identical to serial ones.
 //
 // Simulated processes are ordinary Go functions running in goroutines, but
 // execution is strictly serialized: the scheduler and at most one process run

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/softres/ntier/internal/jvm"
+	"github.com/softres/ntier/internal/obs"
 	"github.com/softres/ntier/internal/resource"
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/sla"
@@ -50,6 +51,17 @@ type RunConfig struct {
 	// TraceKeep bounds retained traces (default 16).
 	TraceEvery uint64
 	TraceKeep  int
+
+	// ObsDir, when set, attaches the run-wide observability recorder
+	// (internal/obs) to every trial: per-node CPU/GC/disk timelines, pool
+	// occupancy and wait-queue series, lingering-close worker counts —
+	// written as one JSON snapshot per trial into the directory, readable
+	// by cmd/ntier-report. Sampling is pure-read and non-perturbing:
+	// results are byte-identical with and without it. Obs holds the
+	// recorder settings (grid, memory bound, SLA); its zero value takes
+	// the defaults. Journal-restored trials are not re-recorded.
+	ObsDir string
+	Obs    obs.Config
 
 	// Parallelism bounds the worker pool that sweeps fan independent
 	// trials out on (0 = one worker per CPU, 1 = serial). It does not
@@ -172,6 +184,11 @@ type Result struct {
 	// Traces holds sampled per-request phase traces when
 	// RunConfig.TraceEvery > 0.
 	Traces []*trace.Trace
+
+	// Obs is the observability snapshot recorded when RunConfig.ObsDir is
+	// set (also written to the directory). It is not journaled: a
+	// journal-restored trial has a nil Obs.
+	Obs *obs.TrialObs
 }
 
 // Throughput returns overall requests/s during the measurement window.
@@ -276,6 +293,10 @@ func Run(cfg RunConfig) (res *Result, err error) {
 	if cfg.WindowUtil {
 		utilWatch = startUtilSampling(tb, measureStart)
 	}
+	var rec *obs.Recorder
+	if cfg.ObsDir != "" {
+		rec = obs.Attach(tb, measureStart, cfg.Obs)
+	}
 
 	// Ramp up, then reset all monitors so only the runtime window counts.
 	// After each Run leg, check whether the watchdog or a cancellation
@@ -314,6 +335,21 @@ func Run(cfg RunConfig) (res *Result, err error) {
 	}
 	if tracer != nil {
 		res.Traces = tracer.Traces()
+	}
+	if rec != nil {
+		sla := cfg.Obs.SLA
+		if sla <= 0 {
+			sla = 2 * time.Second
+		}
+		snap := rec.Snapshot(Summarize(res, sla))
+		snap.Hardware = cfg.Testbed.Hardware.String()
+		snap.Soft = cfg.Testbed.Soft.String()
+		snap.Workload = cfg.Users
+		snap.Seed = cfg.Testbed.Seed
+		if werr := obs.WriteFile(cfg.ObsDir, snap); werr != nil {
+			return nil, werr
+		}
+		res.Obs = snap
 	}
 	return res, nil
 }

@@ -1,0 +1,51 @@
+// Observability wiring: building obs trial summaries from results and
+// recording per-trial snapshots when RunConfig.ObsDir is set.
+
+package experiment
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/obs"
+)
+
+// Summarize reduces a trial result to the aggregate the obs bottleneck
+// analyzer consumes: every hardware resource (per-server CPU including GC,
+// database disks) and every soft resource (pool), in tier order, plus the
+// throughput and SLA-goodput of the window.
+func Summarize(res *Result, sla time.Duration) obs.TrialSummary {
+	s := obs.TrialSummary{
+		Workload:   res.Config.Users,
+		Throughput: res.Throughput(),
+		Goodput:    res.Goodput(sla),
+		SLASeconds: sla.Seconds(),
+	}
+	for _, sv := range res.Servers() {
+		s.Hardware = append(s.Hardware, obs.HWResource{
+			Server:   sv.Name,
+			Tier:     sv.Tier,
+			Resource: "CPU",
+			Util:     sv.CPUUtil,
+			GCShare:  sv.GC.GCFraction,
+		})
+		if sv.DiskUtil > 0 {
+			s.Hardware = append(s.Hardware, obs.HWResource{
+				Server:   sv.Name,
+				Tier:     sv.Tier,
+				Resource: "disk",
+				Util:     sv.DiskUtil,
+			})
+		}
+		for _, pl := range sv.Pools {
+			s.Soft = append(s.Soft, obs.SoftResource{
+				Name:      pl.Name,
+				Tier:      sv.Tier,
+				Capacity:  pl.Capacity,
+				Util:      pl.Utilization,
+				Saturated: pl.Saturated,
+				MaxQueue:  pl.MaxQueue,
+			})
+		}
+	}
+	return s
+}

@@ -195,9 +195,9 @@ func (s *State) Close() error {
 
 // Fingerprint hashes the trial-determining parts of a configuration plus
 // the given sweep axes into a short stable identifier. Execution-only
-// knobs (Parallelism, Ctx, TrialTimeout, State, OnTrial) and the workload
-// axis (Users) are excluded: they change how a campaign runs, not what a
-// trial measures.
+// knobs (Parallelism, Ctx, TrialTimeout, State, OnTrial, and the
+// non-perturbing ObsDir/Obs recorder) and the workload axis (Users) are
+// excluded: they change how a campaign runs, not what a trial measures.
 func Fingerprint(base RunConfig, extra ...string) string {
 	h := sha256.New()
 	io.WriteString(h, base.fingerprintBase())

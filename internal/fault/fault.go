@@ -4,6 +4,12 @@
 // the Injector replays it on the DES clock against the Targets exposed by
 // the topology layer. Everything is driven by simulated time and seeded
 // randomness, so a scenario replays byte-identically under the same seed.
+//
+// This extends the paper's steady-state study: §III shows soft-resource
+// allocations shifting bottlenecks under stable load, and the fault plans
+// probe the same thread- and connection-pool pipeline under disturbance
+// (crashes, brown-outs, leaks) to expose how allocation choices change
+// resilience, not just throughput.
 package fault
 
 import (

@@ -39,6 +39,11 @@ func (d *Disk) Utilization() float64 { return d.queue.Stats().Utilization }
 // Queued returns the number of transfers waiting.
 func (d *Disk) Queued() int { return d.queue.Queued() }
 
+// BusyIntegral returns accumulated busy seconds (the device serves one
+// transfer at a time, so unit-seconds equal busy seconds). Window samplers
+// diff successive readings. Pure read: never mutates the disk.
+func (d *Disk) BusyIntegral() float64 { return d.queue.BusyIntegral() }
+
 // ResetStats starts a new measurement interval.
 func (d *Disk) ResetStats() { d.queue.ResetStats() }
 

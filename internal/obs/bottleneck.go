@@ -1,0 +1,346 @@
+// Bottleneck analysis: the paper's critical-resource detection (§III,
+// Algorithm 1's monitoring premise) over trial summaries. Judge classifies
+// one trial; Steps attributes every workload step of a ramped run; the
+// Detect* functions recognize the figure signatures — Fig. 2 software
+// bottleneck, Fig. 5 GC over-allocation, Fig. 6–8 buffering starvation.
+
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HWResource is one hardware resource observation of a trial: a server's
+// CPU (utilization includes GC overhead, the paper's SysStat view) or a
+// database disk.
+type HWResource struct {
+	Server   string  `json:"server"`   // "cjdbc1"
+	Tier     string  `json:"tier"`     // "apache", "tomcat", "cjdbc", "mysql"
+	Resource string  `json:"resource"` // "CPU" or "disk"
+	Util     float64 `json:"util"`     // mean utilization over the window
+	GCShare  float64 `json:"gcShare"`  // fraction of the window in GC pauses
+}
+
+// String renders "cjdbc1 CPU 99% (GC 33%)".
+func (h HWResource) String() string {
+	s := fmt.Sprintf("%s %s %.0f%%", h.Server, h.Resource, h.Util*100)
+	if h.GCShare > 0.005 {
+		s += fmt.Sprintf(" (GC %.0f%%)", h.GCShare*100)
+	}
+	return s
+}
+
+// SoftResource is one soft-resource (pool) observation of a trial.
+type SoftResource struct {
+	Name      string  `json:"name"` // "tomcat1/conns"
+	Tier      string  `json:"tier"`
+	Capacity  int     `json:"capacity"`
+	Util      float64 `json:"util"`      // mean in-use fraction
+	Saturated float64 `json:"saturated"` // fraction of time full with waiters
+	MaxQueue  int     `json:"maxQueue"`
+}
+
+// TrialSummary is the per-trial aggregate the analyzer consumes — built by
+// the experiment package from a Result, or decoded from a TrialObs file.
+type TrialSummary struct {
+	Workload   int            `json:"workload"`
+	Throughput float64        `json:"throughput"` // req/s over the window
+	Goodput    float64        `json:"goodput"`    // req/s within the SLA
+	SLASeconds float64        `json:"slaSeconds"` // the goodput threshold
+	Hardware   []HWResource   `json:"hardware"`   // tier order
+	Soft       []SoftResource `json:"soft"`       // tier order
+}
+
+// JudgeConfig holds the detection thresholds. Zero values take defaults.
+type JudgeConfig struct {
+	// HWSaturation is the utilization at which a hardware resource counts
+	// as saturated (default 0.95 — the paper treats >95% CPU as the
+	// critical hardware resource, §III-A).
+	HWSaturation float64
+	// SoftSaturation is the saturated-time fraction at which a pool counts
+	// as a software bottleneck (default 0.5: full with waiters queued for
+	// half the window).
+	SoftSaturation float64
+	// HWIdle is the utilization every hardware resource must stay under
+	// for the Fig. 2 "all hardware idle" signature (default 0.85).
+	HWIdle float64
+	// GCAlarm is the GC share marking over-allocation (default 0.15 —
+	// Fig. 5(c) reports 33–90% at the over-allocated settings).
+	GCAlarm float64
+	// CapSlack is the relative goodput growth under which a step counts as
+	// capped (default 0.02: less than 2% gain for a workload increase).
+	CapSlack float64
+	// UtilDrop is the absolute utilization decrease marking the Fig. 8
+	// starvation signature (default 0.10).
+	UtilDrop float64
+}
+
+func (c *JudgeConfig) applyDefaults() {
+	if c.HWSaturation == 0 {
+		c.HWSaturation = 0.95
+	}
+	if c.SoftSaturation == 0 {
+		c.SoftSaturation = 0.5
+	}
+	if c.HWIdle == 0 {
+		c.HWIdle = 0.85
+	}
+	if c.GCAlarm == 0 {
+		c.GCAlarm = 0.15
+	}
+	if c.CapSlack == 0 {
+		c.CapSlack = 0.02
+	}
+	if c.UtilDrop == 0 {
+		c.UtilDrop = 0.10
+	}
+}
+
+// Verdict classifies one trial.
+type Verdict struct {
+	// MostUtilized is the highest-utilization hardware resource, saturated
+	// or not — the "most utilized resource" column of the step report.
+	MostUtilized HWResource
+	// SaturatedHW lists hardware at or above HWSaturation, most utilized
+	// first. The head is Algorithm 1's critical resource candidate.
+	SaturatedHW []HWResource
+	// SaturatedSoft lists pools at or above SoftSaturation, tier order.
+	SaturatedSoft []SoftResource
+}
+
+// HardwareLimited reports whether a hardware resource saturated.
+func (v Verdict) HardwareLimited() bool { return len(v.SaturatedHW) > 0 }
+
+// SoftLimited reports whether a pool saturated before any hardware did —
+// the software-bottleneck state Algorithm 1 reacts to by doubling pools.
+func (v Verdict) SoftLimited() bool {
+	return !v.HardwareLimited() && len(v.SaturatedSoft) > 0
+}
+
+// Judge classifies one trial against the thresholds: which hardware is
+// most loaded, which hardware saturated, which pools are software
+// bottlenecks. This is the verdict the tuner's ramp consumes.
+func Judge(s TrialSummary, cfg JudgeConfig) Verdict {
+	cfg.applyDefaults()
+	var v Verdict
+	for _, h := range s.Hardware {
+		if h.Util > v.MostUtilized.Util {
+			v.MostUtilized = h
+		}
+		if h.Util >= cfg.HWSaturation {
+			v.SaturatedHW = append(v.SaturatedHW, h)
+		}
+	}
+	sort.SliceStable(v.SaturatedHW, func(i, j int) bool {
+		return v.SaturatedHW[i].Util > v.SaturatedHW[j].Util
+	})
+	for _, p := range s.Soft {
+		if p.Saturated >= cfg.SoftSaturation {
+			v.SaturatedSoft = append(v.SaturatedSoft, p)
+		}
+	}
+	return v
+}
+
+// Step kinds reported per workload step.
+const (
+	StepNone     = "none"     // nothing saturated
+	StepHardware = "hardware" // a hardware resource saturated
+	StepSoft     = "soft"     // a pool saturated with all hardware idle
+)
+
+// StepVerdict is the per-workload-step attribution of a ramped run.
+type StepVerdict struct {
+	Workload   int
+	Goodput    float64
+	Throughput float64
+	Top        HWResource     // most-utilized hardware resource
+	Kind       string         // StepNone, StepHardware, StepSoft
+	Soft       []SoftResource // saturated pools
+}
+
+// Attribution renders the step's one-line verdict.
+func (s StepVerdict) Attribution() string {
+	switch s.Kind {
+	case StepHardware:
+		return "hardware: " + s.Top.String()
+	case StepSoft:
+		names := make([]string, len(s.Soft))
+		for i, p := range s.Soft {
+			names[i] = fmt.Sprintf("%s (sat %.0f%%)", p.Name, p.Saturated*100)
+		}
+		return "soft: " + strings.Join(names, ", ")
+	default:
+		return "-"
+	}
+}
+
+// Steps attributes every workload step of a ramped run: the most-utilized
+// hardware resource, and whether the step is hardware-limited or shows the
+// Fig. 2 software-bottleneck state (saturated pool, all hardware idle).
+func Steps(trials []TrialSummary, cfg JudgeConfig) []StepVerdict {
+	cfg.applyDefaults()
+	out := make([]StepVerdict, 0, len(trials))
+	for _, t := range trials {
+		v := Judge(t, cfg)
+		sv := StepVerdict{
+			Workload:   t.Workload,
+			Goodput:    t.Goodput,
+			Throughput: t.Throughput,
+			Top:        v.MostUtilized,
+			Kind:       StepNone,
+			Soft:       v.SaturatedSoft,
+		}
+		switch {
+		case v.HardwareLimited():
+			sv.Kind = StepHardware
+			sv.Top = v.SaturatedHW[0]
+		case len(v.SaturatedSoft) > 0 && v.MostUtilized.Util < cfg.HWIdle:
+			sv.Kind = StepSoft
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// Signature is one detected figure pattern.
+type Signature struct {
+	Kind   string // "soft-bottleneck", "gc-overallocation", "buffering-starvation"
+	Figure string // the paper figure the pattern reproduces
+	Detail string // human-readable evidence
+}
+
+func (s Signature) String() string { return s.Figure + " " + s.Kind + ": " + s.Detail }
+
+// DetectSignatures runs every figure detector over a ramped run (trials
+// sorted by workload) and returns the patterns found.
+func DetectSignatures(trials []TrialSummary, cfg JudgeConfig) []Signature {
+	var sigs []Signature
+	if s := DetectSoftBottleneck(trials, cfg); s != nil {
+		sigs = append(sigs, *s)
+	}
+	if s := DetectGCOverallocation(trials, cfg); s != nil {
+		sigs = append(sigs, *s)
+	}
+	if s := DetectBufferingStarvation(trials, cfg); s != nil {
+		sigs = append(sigs, *s)
+	}
+	return sigs
+}
+
+// DetectSoftBottleneck recognizes the Fig. 2 under-allocation signature:
+// goodput stops growing between consecutive workload steps while every
+// hardware resource stays idle and some pool is saturated. That state —
+// capped throughput with no busy hardware — is the paper's definition of a
+// software bottleneck (§III-A).
+func DetectSoftBottleneck(trials []TrialSummary, cfg JudgeConfig) *Signature {
+	cfg.applyDefaults()
+	for i := 1; i < len(trials); i++ {
+		prev, cur := trials[i-1], trials[i]
+		if cur.Workload <= prev.Workload || prev.Goodput <= 0 {
+			continue
+		}
+		if cur.Goodput >= prev.Goodput*(1+cfg.CapSlack) {
+			continue // still growing
+		}
+		v := Judge(cur, cfg)
+		if v.MostUtilized.Util >= cfg.HWIdle || len(v.SaturatedSoft) == 0 {
+			continue
+		}
+		// Blame the most saturated pool; on ties (a fully backed-up
+		// cascade, where upstream pools pin full waiting on the real
+		// constraint) the downstream-most pool in tier order wins — that is
+		// the root cause the paper's Algorithm 1 would grow.
+		p := v.SaturatedSoft[0]
+		for _, q := range v.SaturatedSoft[1:] {
+			if q.Saturated >= p.Saturated {
+				p = q
+			}
+		}
+		return &Signature{
+			Kind:   "soft-bottleneck",
+			Figure: "Fig. 2",
+			Detail: fmt.Sprintf(
+				"goodput capped at %.0f req/s from workload %d to %d while all hardware stayed below %.0f%% (max %s); pool %s saturated %.0f%% of the time",
+				cur.Goodput, prev.Workload, cur.Workload, cfg.HWIdle*100,
+				v.MostUtilized, p.Name, p.Saturated*100),
+		}
+	}
+	return nil
+}
+
+// DetectGCOverallocation recognizes the Fig. 5 over-allocation signature:
+// the saturated (or most-loaded) hardware resource is a JVM server's CPU
+// with a garbage-collection share past the alarm — the over-allocated
+// pools' resident threads inflating the collector until it consumes the
+// critical resource (§III-B).
+func DetectGCOverallocation(trials []TrialSummary, cfg JudgeConfig) *Signature {
+	cfg.applyDefaults()
+	for i := len(trials) - 1; i >= 0; i-- {
+		v := Judge(trials[i], cfg)
+		cand := v.MostUtilized
+		if len(v.SaturatedHW) > 0 {
+			cand = v.SaturatedHW[0]
+		}
+		if cand.Util < cfg.HWSaturation || cand.GCShare < cfg.GCAlarm {
+			continue
+		}
+		return &Signature{
+			Kind:   "gc-overallocation",
+			Figure: "Fig. 5",
+			Detail: fmt.Sprintf(
+				"critical resource %s at workload %d spends %.0f%% of the window in garbage collection — over-allocated pools inflating the %s JVM live set",
+				cand, trials[i].Workload, cand.GCShare*100, cand.Server),
+		}
+	}
+	return nil
+}
+
+// DetectBufferingStarvation recognizes the Fig. 6–8 signature: a
+// downstream tier's CPU utilization *falls* as workload rises, because an
+// upstream pool saturates with workers parked buffering (Apache's
+// lingering close) instead of driving work downstream (§III-C).
+func DetectBufferingStarvation(trials []TrialSummary, cfg JudgeConfig) *Signature {
+	cfg.applyDefaults()
+	if len(trials) < 2 {
+		return nil
+	}
+	last := trials[len(trials)-1]
+	lastUtil := make(map[string]HWResource)
+	for _, h := range last.Hardware {
+		lastUtil[h.Server+"/"+h.Resource] = h
+	}
+	vLast := Judge(last, cfg)
+	if len(vLast.SaturatedSoft) == 0 {
+		return nil // no starved-upstream evidence
+	}
+	var best *Signature
+	bestDrop := cfg.UtilDrop
+	for _, t := range trials[:len(trials)-1] {
+		if t.Workload >= last.Workload {
+			continue
+		}
+		for _, h := range t.Hardware {
+			l, ok := lastUtil[h.Server+"/"+h.Resource]
+			if !ok {
+				continue
+			}
+			if drop := h.Util - l.Util; drop >= bestDrop {
+				bestDrop = drop
+				pool := vLast.SaturatedSoft[0]
+				sig := Signature{
+					Kind:   "buffering-starvation",
+					Figure: "Fig. 8",
+					Detail: fmt.Sprintf(
+						"%s %s utilization fell from %.0f%% at workload %d to %.0f%% at workload %d while pool %s stayed saturated — upstream workers buffering instead of driving work downstream",
+						h.Server, h.Resource, h.Util*100, t.Workload,
+						l.Util*100, last.Workload, pool.Name),
+				}
+				best = &sig
+			}
+		}
+	}
+	return best
+}

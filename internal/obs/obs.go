@@ -1,0 +1,262 @@
+// Package obs is the run-wide observability layer: the simulated
+// counterpart of the paper's monitoring stack (§II-C: SysStat hardware
+// monitors plus per-server log analysis). A Recorder samples per-node CPU
+// utilization, JVM garbage-collection overhead, disk busy time, soft-pool
+// occupancy and wait-queue depth, Apache lingering-close worker counts,
+// and C-JDBC busy threads on a fixed simulated-time grid — the series
+// behind the paper's Figs. 2–8 — with bounded memory (stride decimation
+// for paper-scale runs). On top of the series, the Bottleneck analyzer
+// (Judge, Steps, DetectSignatures) implements the paper's critical-
+// resource detection: per workload step it attributes the most-utilized
+// hardware resource, flags the Fig. 2 software-bottleneck signature
+// (capped goodput while every hardware resource idles), the Fig. 5
+// over-allocation signature (GC inflation consuming the critical CPU),
+// and the Fig. 8 buffering starvation (downstream CPU falling as load
+// rises).
+//
+// Sampling is provably non-perturbing: every probe is a pure read
+// (resource.CPU, resource.Pool, jvm.JVM, and the tier gauges never mutate
+// on read), so attaching a Recorder cannot change a trial's outcome —
+// sweep CSVs are byte-identical with and without it (asserted by tests).
+package obs
+
+import (
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// Config tunes the recorder. Zero values take the defaults.
+type Config struct {
+	// Interval is the sampling grid in simulated time (default 1s — the
+	// paper's SysStat granularity).
+	Interval time.Duration
+	// MaxSamples bounds stored samples per series (default 512). When a
+	// series fills, adjacent samples are merged pairwise and the stored
+	// resolution halves — memory stays bounded for arbitrarily long runs.
+	MaxSamples int
+	// SLA is the goodput threshold the analyzer reports against
+	// (default 2s, the paper's response-time bound).
+	SLA time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 512
+	}
+	if c.MaxSamples%2 != 0 {
+		c.MaxSamples++
+	}
+	if c.SLA <= 0 {
+		c.SLA = 2 * time.Second
+	}
+}
+
+// Series kinds. Gauges are instantaneous readings (pool occupancy, queue
+// depth, busy threads); rates are per-window means diffed from cumulative
+// integrals (CPU utilization, GC share, pool utilization).
+const (
+	KindGauge = "gauge"
+	KindRate  = "rate"
+)
+
+// Series is one recorded timeline. Values[i] covers the window
+// [Start + i*Interval, Start + (i+1)*Interval) of simulated time, where
+// Interval is TrialObs.Interval (the post-decimation effective grid).
+type Series struct {
+	Name   string    `json:"name"` // e.g. "cjdbc1/cpu", "tomcat1/conns/occ"
+	Kind   string    `json:"kind"` // KindGauge or KindRate
+	Values []float64 `json:"values"`
+}
+
+// probe is one wired sampling point. Reads must be pure.
+type probe struct {
+	name string
+	kind string
+	read func() float64 // instant value (gauge) or cumulative integral (rate)
+	norm func() float64 // rate divisor beyond window seconds (cores, capacity); nil = 1
+	cap1 bool           // clamp to [0,1] (utilization-style rates)
+	prev float64        // last integral reading (rate probes)
+}
+
+// Recorder samples a testbed's probes on the grid. Create with Attach
+// before the simulation runs; read with Snapshot after it finishes.
+type Recorder struct {
+	env    *des.Env
+	start  time.Duration
+	cfg    Config
+	probes []*probe
+
+	stride   int         // raw ticks aggregated into one stored sample
+	partial  []float64   // per-probe sums of the current aggregation group
+	partialN int         // raw ticks accumulated in the group
+	values   [][]float64 // per-probe stored samples (lockstep lengths)
+}
+
+// Attach wires a recorder to every node, pool, JVM, and tier gauge of the
+// testbed and schedules its sampling ticks, the first one nanosecond after
+// `start` so the baseline reads happen after the ramp-end stats reset
+// (mirroring the experiment package's window samplers). Probes are pure
+// reads, so attaching never perturbs the simulation.
+func Attach(tb *testbed.Testbed, start time.Duration, cfg Config) *Recorder {
+	cfg.applyDefaults()
+	r := &Recorder{env: tb.Env, start: start, cfg: cfg, stride: 1}
+
+	for _, n := range tb.Nodes() {
+		node := n
+		cores := float64(node.Spec().Cores)
+		r.rate(node.Name()+"/cpu", node.BusyIntegral, func() float64 { return cores }, true)
+		if d := node.Disk(); d != nil {
+			disk := d
+			r.rate(node.Name()+"/disk", disk.BusyIntegral, nil, true)
+		}
+	}
+	for _, a := range tb.Apaches {
+		ap := a
+		r.pool(ap.Workers)
+		r.gauge(ap.Node.Name()+"/finwait", func() float64 { return float64(ap.FinWaiting()) })
+	}
+	for _, t := range tb.Tomcats {
+		tc := t
+		r.pool(tc.Threads)
+		r.pool(tc.Conns)
+		r.rate(tc.Node.Name()+"/gc", tc.JVM.GCTimeIntegral, nil, true)
+	}
+	for _, c := range tb.CJDBCs {
+		cj := c
+		r.gauge(cj.Node.Name()+"/busy", func() float64 { return float64(cj.Busy()) })
+		r.rate(cj.Node.Name()+"/gc", cj.JVM.GCTimeIntegral, nil, true)
+	}
+
+	r.partial = make([]float64, len(r.probes))
+	r.values = make([][]float64, len(r.probes))
+	r.arm()
+	return r
+}
+
+// gauge registers an instantaneous probe.
+func (r *Recorder) gauge(name string, read func() float64) {
+	r.probes = append(r.probes, &probe{name: name, kind: KindGauge, read: read})
+}
+
+// rate registers a cumulative-integral probe reported as a per-window mean.
+func (r *Recorder) rate(name string, read, norm func() float64, cap1 bool) {
+	r.probes = append(r.probes, &probe{name: name, kind: KindRate, read: read, norm: norm, cap1: cap1})
+}
+
+// pool registers the three standard pool series: occupancy gauge,
+// wait-queue gauge, and windowed utilization.
+func (r *Recorder) pool(pl *resource.Pool) {
+	p := pl
+	r.gauge(p.Name()+"/occ", func() float64 { return float64(p.InUse()) })
+	r.gauge(p.Name()+"/queue", func() float64 { return float64(p.Queued()) })
+	r.rate(p.Name()+"/util", p.BusyIntegral, func() float64 { return float64(p.Capacity()) }, true)
+}
+
+// arm schedules the sampling ticks. The baseline tick (offset one
+// tie-breaking nanosecond past start, after the ramp-end ResetStats zeroes
+// the integrals) only primes the rate baselines; every later tick closes
+// one raw window.
+func (r *Recorder) arm() {
+	first := true
+	var tick func()
+	tick = func() {
+		if first {
+			for _, p := range r.probes {
+				if p.kind == KindRate {
+					p.prev = p.read()
+				}
+			}
+			first = false
+		} else {
+			r.sample()
+		}
+		r.env.After(r.cfg.Interval, tick)
+	}
+	r.env.At(r.start+time.Nanosecond, tick)
+}
+
+// sample closes one raw window: read every probe, fold the readings into
+// the current aggregation group, and store the group mean once `stride`
+// raw ticks have accumulated.
+func (r *Recorder) sample() {
+	window := r.cfg.Interval.Seconds()
+	for i, p := range r.probes {
+		var v float64
+		switch p.kind {
+		case KindGauge:
+			v = p.read()
+		case KindRate:
+			cur := p.read()
+			v = (cur - p.prev) / window
+			p.prev = cur
+			if p.norm != nil {
+				if n := p.norm(); n > 0 {
+					v /= n
+				}
+			}
+			if p.cap1 {
+				if v > 1 {
+					v = 1
+				}
+				if v < 0 {
+					v = 0
+				}
+			}
+		}
+		r.partial[i] += v
+	}
+	r.partialN++
+	if r.partialN < r.stride {
+		return
+	}
+	for i := range r.probes {
+		r.values[i] = append(r.values[i], r.partial[i]/float64(r.stride))
+		r.partial[i] = 0
+	}
+	r.partialN = 0
+	if len(r.values) > 0 && len(r.values[0]) >= r.cfg.MaxSamples {
+		r.decimate()
+	}
+}
+
+// decimate halves every stored series by pairwise averaging and doubles
+// the stride, keeping memory bounded at MaxSamples per series.
+func (r *Recorder) decimate() {
+	for i, vals := range r.values {
+		half := vals[:0]
+		for j := 0; j+1 < len(vals); j += 2 {
+			half = append(half, (vals[j]+vals[j+1])/2)
+		}
+		r.values[i] = half
+	}
+	r.stride *= 2
+}
+
+// Stride returns the current decimation factor (raw ticks per stored
+// sample); the effective grid is Interval * Stride.
+func (r *Recorder) Stride() int { return r.stride }
+
+// Snapshot freezes the recorded series into a TrialObs, attaching the
+// given summary. A trailing partial aggregation group is flushed as a mean
+// over the ticks it covers. The recorder itself is left untouched.
+func (r *Recorder) Snapshot(summary TrialSummary) *TrialObs {
+	t := &TrialObs{
+		Interval: (time.Duration(r.stride) * r.cfg.Interval).Seconds(),
+		Start:    r.start.Seconds(),
+		Summary:  summary,
+	}
+	for i, p := range r.probes {
+		vals := append([]float64(nil), r.values[i]...)
+		if r.partialN > 0 {
+			vals = append(vals, r.partial[i]/float64(r.partialN))
+		}
+		t.Series = append(t.Series, Series{Name: p.name, Kind: p.kind, Values: vals})
+	}
+	return t
+}

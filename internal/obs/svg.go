@@ -1,0 +1,98 @@
+// Self-contained SVG timelines: small-multiple charts of a trial's series,
+// one band per series, no external resources — viewable directly from the
+// report directory.
+
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG layout constants (pixels).
+const (
+	svgWidth   = 960
+	bandHeight = 48
+	bandGap    = 14
+	marginLeft = 190
+	marginTop  = 46
+	marginBot  = 20
+)
+
+// RenderSVG renders every series of the trial as a stacked band chart.
+// Rates draw against a fixed [0,1] axis; gauges auto-scale to their
+// maximum (shown in the band label).
+func RenderSVG(t *TrialObs) []byte {
+	var b strings.Builder
+	height := marginTop + len(t.Series)*(bandHeight+bandGap) + marginBot
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n",
+		svgWidth, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(&b, `<text x="8" y="18" font-size="14">%s N=%d — %gs grid from t=%gs</text>`+"\n",
+		esc(t.Label()), t.Workload, t.Interval, t.Start)
+
+	plotW := svgWidth - marginLeft - 20
+	for i, s := range t.Series {
+		y := marginTop + i*(bandHeight+bandGap)
+		max := 1.0
+		label := s.Name
+		if s.Kind == KindGauge {
+			max = 0
+			for _, v := range s.Values {
+				if v > max {
+					max = v
+				}
+			}
+			if max == 0 {
+				max = 1
+			}
+			label = fmt.Sprintf("%s (max %.3g)", s.Name, max)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, y+bandHeight/2+4, esc(label))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4" stroke="#ccc"/>`+"\n",
+			marginLeft, y, plotW, bandHeight)
+		if len(s.Values) == 0 {
+			continue
+		}
+		color := "#1f77b4"
+		if s.Kind == KindRate {
+			color = "#d62728"
+		}
+		var pts strings.Builder
+		n := len(s.Values)
+		for j, v := range s.Values {
+			x := float64(marginLeft)
+			if n > 1 {
+				x += float64(j) / float64(n-1) * float64(plotW)
+			}
+			frac := v / max
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			py := float64(y+bandHeight) - frac*float64(bandHeight)
+			if j > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", x, py)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.3"/>`+"\n",
+			pts.String(), color)
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+// SVGFileName returns the timeline file name for a trial snapshot.
+func (t *TrialObs) SVGFileName() string {
+	return strings.TrimSuffix(t.FileName(), ".json") + ".svg"
+}
+
+// esc escapes the XML-special characters in labels.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

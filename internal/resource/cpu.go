@@ -74,7 +74,11 @@ func (c *CPU) rate() float64 {
 	return c.speed * share
 }
 
-// update advances the virtual clock and busy-time integrals to now.
+// update advances the virtual clock and busy-time integrals to now. It is
+// called only on state changes (Use, SetSpeed, complete, ResetStats) —
+// never from reads — so the floating-point accumulation path is a function
+// of the job/speed event sequence alone. Observers sampling mid-run cannot
+// alter it (see pending).
 func (c *CPU) update() {
 	now := c.env.Now()
 	dt := (now - c.lastUpdate).Seconds()
@@ -90,6 +94,26 @@ func (c *CPU) update() {
 		}
 	}
 	c.lastUpdate = now
+}
+
+// pending returns the busy-integral and stall increments accrued since the
+// last state change, without storing them. Reads are pure: the same
+// arithmetic update would perform, computed on the side, so sampling at
+// arbitrary instants never splits an accumulation step and therefore never
+// perturbs vnow, completion times, or reported statistics.
+func (c *CPU) pending() (busy float64, stall time.Duration) {
+	now := c.env.Now()
+	dt := (now - c.lastUpdate).Seconds()
+	if dt > 0 {
+		if n := len(c.jobs); n > 0 {
+			if r := c.rate(); r > 0 {
+				busy = dt * r * float64(n)
+			} else {
+				stall = now - c.lastUpdate
+			}
+		}
+	}
+	return busy, stall
 }
 
 const vEps = 1e-12
@@ -174,24 +198,26 @@ type CPUStats struct {
 	JobsDone    uint64
 }
 
-// Stats integrates to now and returns a snapshot. Utilization counts only
+// Stats returns a snapshot integrated to now. Utilization counts only
 // useful work; callers add externally-tracked overheads (e.g. GC) on top.
+// Stats is a pure read — it never mutates the CPU, so samplers may call it
+// at any simulated instant without perturbing the run.
 func (c *CPU) Stats() CPUStats {
-	c.update()
+	busy, stall := c.pending()
 	elapsed := (c.env.Now() - c.statsStart).Seconds()
 	s := CPUStats{Name: c.name, Cores: c.cores, JobsDone: c.jobsDone}
 	if elapsed > 0 {
-		s.Utilization = c.busyIntegral / elapsed / float64(c.cores)
-		s.Stalled = c.stallBusy.Seconds() / elapsed
+		s.Utilization = (c.busyIntegral + busy) / elapsed / float64(c.cores)
+		s.Stalled = (c.stallBusy + stall).Seconds() / elapsed
 	}
 	return s
 }
 
 // BusyIntegral returns accumulated core-seconds of useful work; window
-// samplers diff successive readings.
+// samplers diff successive readings. Pure read: never mutates the CPU.
 func (c *CPU) BusyIntegral() float64 {
-	c.update()
-	return c.busyIntegral
+	busy, _ := c.pending()
+	return c.busyIntegral + busy
 }
 
 // jobHeap is a binary min-heap of jobs ordered by finish virtual time.

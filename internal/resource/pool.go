@@ -94,7 +94,10 @@ func (pl *Pool) Queued() int { return len(pl.waiters) }
 // Leaked returns the number of units currently bled out by leak faults.
 func (pl *Pool) Leaked() int { return pl.leaked }
 
-// account integrates occupancy state up to the current time.
+// account integrates occupancy state up to the current time. It is called
+// only on state changes (grants, releases, leaks, resizes, resets) — never
+// from reads — so the accumulation path is a function of the pool's event
+// sequence alone and samplers cannot alter it (see pending).
 func (pl *Pool) account() {
 	now := pl.env.Now()
 	dt := now - pl.lastChange
@@ -359,9 +362,29 @@ type PoolStats struct {
 	OccTime     []time.Duration // time spent at occupancy 0..Capacity
 }
 
-// Stats integrates up to now and returns a snapshot.
+// pending returns the occupancy increments accrued since the last state
+// change without storing them — the pure-read counterpart of account. dt is
+// the un-integrated interval, busy the unit-seconds it contributes, and
+// full/sat the saturation time it contributes.
+func (pl *Pool) pending() (dt time.Duration, busy float64, full, sat time.Duration) {
+	dt = pl.env.Now() - pl.lastChange
+	if dt > 0 {
+		busy = float64(pl.inUse) * dt.Seconds()
+		if pl.inUse >= pl.capacity {
+			full = dt
+			if len(pl.waiters) > 0 {
+				sat = dt
+			}
+		}
+	}
+	return dt, busy, full, sat
+}
+
+// Stats returns a snapshot integrated up to now. Pure read: it never
+// mutates the pool, so samplers may call it at any simulated instant
+// without perturbing the run.
 func (pl *Pool) Stats() PoolStats {
-	pl.account()
+	dt, busy, full, sat := pl.pending()
 	elapsed := (pl.env.Now() - pl.statsStart).Seconds()
 	s := PoolStats{
 		Name:     pl.name,
@@ -373,10 +396,13 @@ func (pl *Pool) Stats() PoolStats {
 		Leaked:   pl.leaked,
 		OccTime:  append([]time.Duration(nil), pl.occTime...),
 	}
+	if dt > 0 {
+		s.OccTime[pl.inUse] += dt
+	}
 	if elapsed > 0 {
-		s.Utilization = pl.busyIntegral / elapsed / float64(pl.capacity)
-		s.Full = pl.fullTime.Seconds() / elapsed
-		s.Saturated = pl.satTime.Seconds() / elapsed
+		s.Utilization = (pl.busyIntegral + busy) / elapsed / float64(pl.capacity)
+		s.Full = (pl.fullTime + full).Seconds() / elapsed
+		s.Saturated = (pl.satTime + sat).Seconds() / elapsed
 	}
 	if pl.grants > 0 {
 		s.MeanWait = time.Duration(int64(pl.totalWait) / int64(pl.grants))
@@ -386,7 +412,8 @@ func (pl *Pool) Stats() PoolStats {
 
 // BusyIntegral returns accumulated unit-seconds of occupancy; window
 // samplers diff successive readings to compute per-window utilization.
+// Pure read: never mutates the pool.
 func (pl *Pool) BusyIntegral() float64 {
-	pl.account()
-	return pl.busyIntegral
+	_, busy, _, _ := pl.pending()
+	return pl.busyIntegral + busy
 }

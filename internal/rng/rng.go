@@ -1,6 +1,9 @@
 // Package rng provides a small, fast, deterministic random number generator
 // with the distributions the simulator needs (exponential, lognormal,
-// uniform, bounded Pareto, categorical).
+// uniform, bounded Pareto, categorical). These drive the paper's workload
+// model: RUBBoS think times around 7 seconds and per-interaction service
+// demands (§II-B), with independent per-component streams so trials replay
+// identically — the property every figure reproduction relies on.
 //
 // The generator is xoshiro256**, seeded through splitmix64 so that any
 // 64-bit seed (including 0) produces a well-mixed state. Independent streams

@@ -65,6 +65,10 @@ type Apache struct {
 	// the Tomcat tier — Threads_connectingTomcat in Fig. 7(c).
 	connecting int
 
+	// finWaiting counts workers parked in the lingering close, waiting for
+	// the client FIN — the buffered share of the pool in Fig. 7(c)/Fig. 8.
+	finWaiting int
+
 	// Optional per-second timelines for the Fig. 7/8 analysis.
 	processed    *metrics.Windows // requests completed per second
 	ptTotal      *metrics.Windows // worker busy time per request (ms)
@@ -110,6 +114,10 @@ func (a *Apache) Breakers() []*Breaker { return a.res.breakers }
 // Connecting returns the number of workers currently interacting (or
 // queued to interact) with the Tomcat tier.
 func (a *Apache) Connecting() int { return a.connecting }
+
+// FinWaiting returns the number of workers currently parked in the
+// lingering close (holding a pool unit while waiting for the client FIN).
+func (a *Apache) FinWaiting() int { return a.finWaiting }
 
 // EnableTimeline starts recording the Fig. 7/8 per-interval series from
 // `start`.
@@ -196,7 +204,9 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) error {
 	a.Fin.SetLoad(a.finLoad)
 	if !a.Fin.Disabled() {
 		t0 = p.Now()
+		a.finWaiting++
 		p.Sleep(a.Fin.Sample())
+		a.finWaiting--
 		addSpan(p, a.Node.Name(), "fin-wait", t0)
 	}
 

@@ -112,7 +112,8 @@ func (c *CJDBC) SetDown(down bool) { c.down = down }
 // Down reports whether the middleware is refusing work.
 func (c *CJDBC) Down() bool { return c.down }
 
-// accountBusy integrates the busy-concurrency level up to now.
+// accountBusy integrates the busy-concurrency level up to now. Called only
+// on state changes (Checkout/Release) so reads stay pure.
 func (c *CJDBC) accountBusy() {
 	now := c.env.Now()
 	if dt := now - c.lastBusy; dt > 0 {
@@ -123,9 +124,13 @@ func (c *CJDBC) accountBusy() {
 
 // BusyIntegral returns accumulated busy-unit-seconds of checked-out
 // connections; scenario samplers diff readings for mean concurrency.
+// Pure read: never mutates the middleware.
 func (c *CJDBC) BusyIntegral() float64 {
-	c.accountBusy()
-	return c.busyIntegral
+	total := c.busyIntegral
+	if dt := c.env.Now() - c.lastBusy; dt > 0 {
+		total += float64(c.busy) * dt.Seconds()
+	}
+	return total
 }
 
 // Checkout marks one upstream connection as checked out and services its

@@ -34,6 +34,7 @@ import (
 	"github.com/softres/ntier/internal/core"
 	"github.com/softres/ntier/internal/experiment"
 	"github.com/softres/ntier/internal/fault"
+	"github.com/softres/ntier/internal/obs"
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/sla"
 	"github.com/softres/ntier/internal/testbed"
@@ -202,6 +203,50 @@ func ClassifyBottlenecks(series map[string][]float64, cfg BottleneckConfig) Diag
 
 // Diagnose runs one monitored trial and classifies its bottleneck pattern.
 func Diagnose(rc RunConfig) (Diagnosis, error) { return core.Diagnose(rc) }
+
+// Run-wide observability (set RunConfig.ObsDir; see OBSERVABILITY.md).
+// The obs layer records per-node utilization/GC timelines and pool
+// occupancy series on a fixed simulated-time grid and attributes
+// bottlenecks per workload step, reproducing the paper's critical-
+// resource detection (Fig. 2 software bottleneck, Fig. 5 GC
+// over-allocation, Fig. 8 buffering starvation).
+type (
+	// ObsConfig tunes the recorder: sampling grid, memory bound, SLA.
+	ObsConfig = obs.Config
+	// TrialObs is one trial's observability snapshot (summary + series).
+	TrialObs = obs.TrialObs
+	// TrialSummary is the per-trial aggregate the analyzer consumes.
+	TrialSummary = obs.TrialSummary
+	// JudgeConfig holds the bottleneck-detection thresholds.
+	JudgeConfig = obs.JudgeConfig
+	// Verdict classifies one trial (saturated hardware, soft bottlenecks).
+	Verdict = obs.Verdict
+	// StepVerdict is one workload step's bottleneck attribution.
+	StepVerdict = obs.StepVerdict
+	// ObsSignature is one detected figure pattern (Fig. 2/5/8).
+	ObsSignature = obs.Signature
+)
+
+// Judge classifies one trial summary against the detection thresholds.
+func Judge(s TrialSummary, cfg JudgeConfig) Verdict { return obs.Judge(s, cfg) }
+
+// Summarize reduces a trial result to the analyzer's input.
+func Summarize(res *Result, sla time.Duration) TrialSummary {
+	return experiment.Summarize(res, sla)
+}
+
+// BottleneckSteps attributes every workload step of a ramped run.
+func BottleneckSteps(trials []TrialSummary, cfg JudgeConfig) []StepVerdict {
+	return obs.Steps(trials, cfg)
+}
+
+// DetectSignatures runs the Fig. 2/5/8 detectors over a ramped run.
+func DetectSignatures(trials []TrialSummary, cfg JudgeConfig) []ObsSignature {
+	return obs.DetectSignatures(trials, cfg)
+}
+
+// ReadObsDir loads every observability snapshot recorded in dir.
+func ReadObsDir(dir string) ([]*TrialObs, error) { return obs.ReadDir(dir) }
 
 // Fault injection and resilience (extension beyond the paper; see
 // EXPERIMENTS.md). A FaultPlan schedules deterministic faults against the

@@ -464,3 +464,32 @@ func BenchmarkParallelSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSearch — the surrogate-guided budgeted optimizer: calibrate
+// the MVA surrogate from one trial, pre-rank the 2×2 candidate grid
+// analytically, and spend a 4-trial budget by successive halving over a
+// two-workload ladder. Reported metrics: the best goodput found at the
+// 1 s SLA and the trials actually spent (the point of the surrogate is
+// that this stays far below the exhaustive grid).
+func BenchmarkSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b, "1/2/1/2", "200-20-10")
+		cfg.Testbed.Seed = 7
+		cfg.RampUp = 2 * time.Second
+		cfg.Measure = 6 * time.Second
+		out, err := Search(SearchOptions{
+			Base:       cfg,
+			WebThreads: []int{200},
+			AppThreads: []int{2, 8},
+			AppConns:   []int{2, 8},
+			Workloads:  []int{300, 900},
+			SLA:        time.Second,
+			Budget:     4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.BestGoodput, "bestGoodput")
+		b.ReportMetric(float64(out.Trials), "trials")
+	}
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -49,8 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		thS      = fs.Duration("sla", 0, "goodput threshold for the timeline (0 = scenario default)")
 		csvPath  = fs.String("csv", "", "write the per-second timeline CSV to this file (per allocation)")
 	)
+	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	if *list {
@@ -82,33 +87,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := cli.WithSignalContext(context.Background())
 	defer stop()
 
-	for _, soft := range allocs {
+	// A state directory pins the campaign identity (fingerprint-checked on
+	// -resume); scenario trials are short and re-run rather than replay.
+	var state *ntier.RunState
+	if *common.StateDir != "" {
+		fp := ntier.Fingerprint(ntier.RunConfig{
+			Testbed: ntier.TestbedOptions{Hardware: hw, Seed: *seed},
+			Users:   *users, RampUp: *ramp, Measure: *measure,
+		}, "ntier-faults", *scenario, *softS, thS.String())
+		st, err := ntier.OpenState(*common.StateDir, fp, *common.Resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		state = st
+	}
+
+	// Allocations run on the shared bounded worker pool; output is
+	// buffered per allocation and printed in flag order, so -parallel
+	// never reorders the report.
+	outputs := make([]bytes.Buffer, len(allocs))
+	runErr := ntier.ForEachIndexCtx(ctx, len(allocs), *common.Parallel, func(i int) error {
+		soft := allocs[i]
+		w := &outputs[i]
 		base := ntier.RunConfig{
 			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
 			Users:   *users,
 			RampUp:  *ramp,
 			Measure: *measure,
 			Ctx:     ctx,
+			State:   state,
 		}
+		common.Apply(&base)
 		cfg := sc.Configure(base)
 		if *thS > 0 {
 			cfg.GoodputThreshold = *thS
 		}
 		sr, err := ntier.RunScenario(cfg)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return cli.ExitCode(err)
+			return err
 		}
-		printScenario(stdout, sc.Name, sr)
+		printScenario(w, sc.Name, sr)
 		if *csvPath != "" {
 			path := allocCSVPath(*csvPath, soft.String(), len(allocs) > 1)
 			if err := writeTimeline(path, sr); err != nil {
-				fmt.Fprintln(stderr, err)
-				return 1
+				return err
 			}
-			fmt.Fprintf(stdout, "timeline written to %s\n", path)
+			fmt.Fprintf(w, "timeline written to %s\n", path)
 		}
-		fmt.Fprintln(stdout)
+		fmt.Fprintln(w)
+		return nil
+	})
+	for i := range outputs {
+		io.Copy(stdout, &outputs[i])
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return cli.ExitCode(runErr)
 	}
 	return 0
 }

@@ -141,21 +141,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ntier-figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out      = fs.String("out", "results", "output directory")
-		only     = fs.String("only", "", "comma-separated subset (fig2..fig10, table1, ablation)")
-		full     = fs.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		parallel = fs.Int("parallel", 0, "trial/generator worker count (0 = one per CPU, 1 = serial)")
-		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
-		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
-		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
-		obsDir   = fs.String("obs", "", "record per-trial observability snapshots into DIR (see ntier-report)")
+		out  = fs.String("out", "results", "output directory")
+		only = fs.String("only", "", "comma-separated subset (fig2..fig10, table1, ablation)")
+		full = fs.Bool("full", false, "paper-scale trials (8-min ramp, 12-min runtime)")
+		seed = fs.Uint64("seed", 1, "random seed")
 	)
+	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *resume && *stateDir == "" {
-		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	ctx, stop := cli.WithSignalContext(context.Background())
@@ -163,9 +159,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	g := &generator{
 		ramp: 30 * time.Second, measure: 45 * time.Second,
-		seed: *seed, parallel: *parallel,
-		ctx: ctx, trialTimeout: *trialTO,
-		obsDir: *obsDir,
+		seed: *seed, parallel: *common.Parallel,
+		ctx: ctx, trialTimeout: *common.TrialTimeout,
+		obsDir: *common.ObsDir,
 	}
 	if *full {
 		g.ramp, g.measure = 8*time.Minute, 12*time.Minute
@@ -180,14 +176,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *stateDir != "" {
+	if *common.StateDir != "" {
 		// The per-sweep journal fingerprints cover each figure's actual
 		// configurations; the directory fingerprint pins the shared knobs.
 		fp := ntier.Fingerprint(ntier.RunConfig{
 			Testbed: ntier.TestbedOptions{Seed: g.seed},
 			RampUp:  g.ramp, Measure: g.measure,
 		}, "ntier-figures")
-		st, err := ntier.OpenState(*stateDir, fp, *resume)
+		st, err := ntier.OpenState(*common.StateDir, fp, *common.Resume)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -200,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// pool the sweeps use. Each writes its own file; the datasets are
 	// byte-identical to a serial run at any -parallel setting.
 	var mu sync.Mutex
-	runErr := experiment.ForEachIndexCtx(ctx, len(names), *parallel, func(i int) error {
+	runErr := experiment.ForEachIndexCtx(ctx, len(names), *common.Parallel, func(i int) error {
 		name := names[i]
 		start := time.Now()
 		text, err := registry[name](g)
@@ -218,7 +214,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if runErr != nil {
 		fmt.Fprintln(stderr, runErr)
-		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(runErr) == cli.ExitInterrupted {
+		if hint := cli.ResumeHint(*common.StateDir); hint != "" && cli.ExitCode(runErr) == cli.ExitInterrupted {
 			fmt.Fprintln(stderr, hint)
 		}
 		return cli.ExitCode(runErr)

@@ -30,6 +30,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ntier-report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	// ntier-report is exempt from cli.RegisterCommonFlags: it runs no
+	// trials, so the execution-control flags (-parallel, -state-dir,
+	// -resume, -trial-timeout) have nothing to control, and its -obs is an
+	// input directory rather than a recording destination.
 	var (
 		obsDir  = fs.String("obs", "", "directory of obs-*.json snapshots (from a run with -obs)")
 		outDir  = fs.String("out", "", "directory for report.csv and SVG timelines (default: the -obs directory)")

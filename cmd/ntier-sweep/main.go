@@ -30,23 +30,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ntier-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		hwS      = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
-		softS    = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
-		wlS      = fs.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		ramp     = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
-		measure  = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
-		vary     = fs.String("vary", "", "pool to sweep: threads, conns, or web")
-		sizesS   = fs.String("sizes", "", "comma-separated pool sizes for -vary")
-		thS      = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
-		noGC     = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
-		noFin    = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
-		parallel = fs.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
-		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
-		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
-		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
-		obsDir   = fs.String("obs", "", "record per-trial observability snapshots into DIR (see ntier-report)")
+		hwS     = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS   = fs.String("soft", "400-15-6", "comma-separated soft allocations Wt-At-Ac")
+		wlS     = fs.String("wl", "5000:6800:400", "workloads: list 5000,5600 or range lo:hi:step")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		ramp    = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure = fs.Duration("measure", 60*time.Second, "measured runtime (simulated)")
+		vary    = fs.String("vary", "", "pool to sweep: threads, conns, or web")
+		sizesS  = fs.String("sizes", "", "comma-separated pool sizes for -vary")
+		thS     = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
+		noGC    = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
+		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
 	)
+	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,8 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return cli.Fail(fs, err)
 	}
-	if *resume && *stateDir == "" {
-		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	ctx, stop := cli.WithSignalContext(context.Background())
@@ -77,29 +73,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			DisableGC:      *noGC,
 			DisableFinWait: *noFin,
 		},
-		RampUp:       *ramp,
-		Measure:      *measure,
-		Parallelism:  *parallel,
-		Ctx:          ctx,
-		TrialTimeout: *trialTO,
-		ObsDir:       *obsDir,
-		Obs:          ntier.ObsConfig{SLA: *thS},
+		RampUp:  *ramp,
+		Measure: *measure,
+		Ctx:     ctx,
+		Obs:     ntier.ObsConfig{SLA: *thS},
 	}
+	common.Apply(&base)
 
-	if *stateDir != "" {
-		fp := ntier.Fingerprint(base, "ntier-sweep", *softS, *wlS, *vary, *sizesS)
-		st, err := ntier.OpenState(*stateDir, fp, *resume)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		defer st.Close()
-		base.State = st
+	closeState, err := common.OpenState(&base, ntier.Fingerprint(base, "ntier-sweep", *softS, *wlS, *vary, *sizesS))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if closeState != nil {
+		defer closeState()
 	}
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, err)
-		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
+		if hint := cli.ResumeHint(*common.StateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
 			fmt.Fprintln(stderr, hint)
 		}
 		return cli.ExitCode(err)

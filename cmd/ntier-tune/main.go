@@ -39,12 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		small    = fs.Int("smallstep", 400, "fine workload step")
 		validate = fs.Bool("validate", false, "sweep the recommended pool size (Fig. 10)")
 		quiet    = fs.Bool("q", false, "suppress progress logging")
-		parallel = fs.Int("parallel", 0, "trial worker count (0 = one per CPU, 1 = serial)")
-		stateDir = fs.String("state-dir", "", "run-state directory for crash-safe journaling")
-		resume   = fs.Bool("resume", false, "resume the campaign journaled in -state-dir")
-		trialTO  = fs.Duration("trial-timeout", 0, "wall-clock watchdog per trial (0 = none)")
-		obsDir   = fs.String("obs", "", "record per-trial observability snapshots into DIR (see ntier-report)")
 	)
+	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,8 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return cli.Fail(fs, err)
 	}
-	if *resume && *stateDir == "" {
-		return cli.Fail(fs, fmt.Errorf("-resume requires -state-dir"))
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	ctx, stop := cli.WithSignalContext(context.Background())
@@ -66,38 +62,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := ntier.TunerConfig{
 		Base: ntier.RunConfig{
-			Testbed:      ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
-			RampUp:       *ramp,
-			Measure:      *measure,
-			Parallelism:  *parallel,
-			Ctx:          ctx,
-			TrialTimeout: *trialTO,
-			ObsDir:       *obsDir,
+			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: *seed},
+			RampUp:  *ramp,
+			Measure: *measure,
+			Ctx:     ctx,
 		},
 		Step:      *step,
 		SmallStep: *small,
 	}
+	common.Apply(&cfg.Base)
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "  "+format+"\n", args...)
 		}
 	}
 
-	if *stateDir != "" {
-		fp := ntier.Fingerprint(cfg.Base, "ntier-tune",
-			fmt.Sprint(*step), fmt.Sprint(*small), fmt.Sprint(*validate))
-		st, err := ntier.OpenState(*stateDir, fp, *resume)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		defer st.Close()
-		cfg.Base.State = st
+	closeState, err := common.OpenState(&cfg.Base, ntier.Fingerprint(cfg.Base, "ntier-tune",
+		fmt.Sprint(*step), fmt.Sprint(*small), fmt.Sprint(*validate)))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if closeState != nil {
+		defer closeState()
 	}
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, err)
-		if hint := cli.ResumeHint(*stateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
+		if hint := cli.ResumeHint(*common.StateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
 			fmt.Fprintln(stderr, hint)
 		}
 		return cli.ExitCode(err)

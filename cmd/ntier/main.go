@@ -39,10 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
 		traceN  = fs.Uint64("trace", 0, "sample one request in N for phase tracing (0 = off)")
 		diag    = fs.Bool("diagnose", false, "classify the bottleneck pattern from windowed utilization")
-		obsDir  = fs.String("obs", "", "record an observability snapshot into DIR (see ntier-report)")
 	)
+	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
 	}
 
 	hw, err := cli.ParseHardware(*hwS)
@@ -74,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.TraceEvery = *traceN
 	cfg.WindowUtil = *diag
-	cfg.ObsDir = *obsDir
+	common.Apply(&cfg)
 	switch *mix {
 	case "browse":
 		cfg.Mix = ntier.BrowseOnlyMix()
@@ -84,7 +87,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.Fail(fs, fmt.Errorf("-mix: unknown mix %q (want browse or rw)", *mix))
 	}
 
-	res, err := ntier.Run(cfg)
+	// With -state-dir the single trial runs through a journal: re-running
+	// the same configuration replays the recorded result, and -wl can vary
+	// across invocations of one state directory (the journal keys trials
+	// by workload).
+	var journal *ntier.Journal
+	fp := ntier.Fingerprint(cfg, "ntier")
+	closeState, err := common.OpenState(&cfg, fp)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if closeState != nil {
+		defer closeState()
+		if journal, err = cfg.State.Journal("run", fp); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	res, err := ntier.RunJournaled(cfg, journal)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return cli.ExitCode(err)

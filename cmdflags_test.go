@@ -1,0 +1,122 @@
+package ntier_test
+
+// Flag-wiring gate: every trial-running command must expose the shared
+// execution-control flags (-parallel, -state-dir, -resume, -trial-timeout,
+// -obs) with identical usage text. The single source of that text is
+// cli.RegisterCommonFlags, so the gate checks (a) every command calls it,
+// and (b) no command re-declares one of the shared names inline, where its
+// usage could drift. ntier-report is the documented exemption: it runs no
+// trials and uses -obs as an input directory.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// commonFlagNames are the shared names owned by cli.RegisterCommonFlags.
+var commonFlagNames = map[string]bool{
+	"parallel":      true,
+	"state-dir":     true,
+	"resume":        true,
+	"trial-timeout": true,
+	"obs":           true,
+}
+
+func TestCommandsWireCommonFlags(t *testing.T) {
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no commands under cmd/")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, filepath.Join("cmd", name), func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			registers := false
+			var inline []string
+			for _, pkg := range pkgs {
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						sel, ok := call.Fun.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						recv, ok := sel.X.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						if recv.Name == "cli" && sel.Sel.Name == "RegisterCommonFlags" {
+							registers = true
+						}
+						// fs.String("state-dir", ...) and friends: a shared
+						// name declared inline can drift from the canonical
+						// usage text.
+						if isFlagDecl(sel.Sel.Name) && len(call.Args) > 0 {
+							if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+								if fname, err := strconv.Unquote(lit.Value); err == nil && commonFlagNames[fname] {
+									inline = append(inline, fname)
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+			if name == "ntier-report" {
+				// The exemption must stay documented in the source, and
+				// -obs (the input directory) is its only shared name.
+				src, err := os.ReadFile(filepath.Join("cmd", name, "main.go"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(string(src), "exempt from cli.RegisterCommonFlags") {
+					t.Error("ntier-report no longer documents its common-flags exemption")
+				}
+				for _, fname := range inline {
+					if fname != "obs" {
+						t.Errorf("ntier-report declares shared flag -%s inline; use cli.RegisterCommonFlags", fname)
+					}
+				}
+				return
+			}
+			if !registers {
+				t.Errorf("%s does not call cli.RegisterCommonFlags; every trial-running command must expose the shared execution-control flags", name)
+			}
+			for _, fname := range inline {
+				t.Errorf("%s re-declares shared flag -%s inline; its usage text can drift from the canonical one", name, fname)
+			}
+		})
+	}
+}
+
+// isFlagDecl reports whether a method name is one of flag.FlagSet's
+// flag-declaring constructors.
+func isFlagDecl(name string) bool {
+	switch name {
+	case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration",
+		"StringVar", "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var", "Float64Var", "DurationVar":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+// Searchopt: drive the surrogate-guided allocation search from code.
+// Instead of sweeping the full Apache × Tomcat × DB-connection grid, the
+// search calibrates an analytic MVA surrogate from one generously
+// provisioned trial, pre-ranks the candidate allocations, and spends a
+// small simulation-trial budget on the promising ones by successive
+// halving. It prints the best allocation, the budget ledger, the Pareto
+// frontier of goodput versus total allocated soft resources per SLA
+// threshold, and the decision log explaining every prune.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ntier "github.com/softres/ntier"
+)
+
+func main() {
+	hw, err := ntier.ParseHardware("1/2/1/2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The calibration allocation: generously provisioned so the first
+	// trial exposes pure per-tier demands to the utilization law.
+	soft, err := ntier.ParseSoftAlloc("400-30-20")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := ntier.Search(ntier.SearchOptions{
+		Base: ntier.RunConfig{
+			Testbed: ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: 21},
+			RampUp:  15 * time.Second,
+			Measure: 30 * time.Second,
+		},
+		// The candidate grid is the cross product of these axes: 12
+		// allocations, of which the budget below can afford to measure
+		// only a fraction — the surrogate decides which.
+		WebThreads: []int{400},
+		AppThreads: []int{4, 8, 15, 30},
+		AppConns:   []int{2, 6, 12},
+		// The rung ladder: survivors are re-measured at each workload.
+		Workloads: []int{4000, 6000},
+		SLA:       time.Second,
+		Budget:    6, // trials, counting the calibration trial
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best allocation %s: goodput(%v) %.1f req/s at workload %d\n",
+		out.Best, out.SLA, out.BestGoodput, out.BestWorkload)
+	fmt.Printf("budget: %d trials run (%d cache hits)\n\n", out.Trials, out.Cached)
+	fmt.Print(out.Table().String())
+
+	fmt.Println("\nDecision log:")
+	for _, line := range out.Log {
+		fmt.Println("  " + line)
+	}
+}

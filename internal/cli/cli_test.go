@@ -6,9 +6,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/softres/ntier/internal/experiment"
 )
 
 // TestParseErrors is the shared malformed-flag test for every ntier
@@ -118,6 +121,103 @@ func TestResumeHint(t *testing.T) {
 	got := ResumeHint("runs/sweep1")
 	if !strings.Contains(got, "-state-dir runs/sweep1") || !strings.Contains(got, "-resume") {
 		t.Errorf("ResumeHint = %q, want the resume flags", got)
+	}
+}
+
+// TestRegisterCommonFlags pins the shared flag surface: exactly these
+// five names, each with the canonical usage text. Any rename or reword
+// must happen here first, so every binary picks it up at once.
+func TestRegisterCommonFlags(t *testing.T) {
+	fs := flag.NewFlagSet("ntier-test", flag.ContinueOnError)
+	common := RegisterCommonFlags(fs)
+
+	want := map[string]string{
+		"parallel":      parallelUsage,
+		"state-dir":     stateDirUsage,
+		"resume":        resumeUsage,
+		"trial-timeout": trialTimeoutUsage,
+		"obs":           obsUsage,
+	}
+	got := map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = f.Usage })
+	if len(got) != len(want) {
+		t.Errorf("registered %d flags, want %d: %v", len(got), len(want), got)
+	}
+	for name, usage := range want {
+		if got[name] != usage {
+			t.Errorf("flag -%s usage = %q, want %q", name, got[name], usage)
+		}
+	}
+
+	if err := fs.Parse([]string{"-parallel", "3", "-trial-timeout", "5s", "-obs", "runs/o"}); err != nil {
+		t.Fatal(err)
+	}
+	var cfg experiment.RunConfig
+	common.Apply(&cfg)
+	if cfg.Parallelism != 3 || cfg.TrialTimeout != 5*time.Second || cfg.ObsDir != "runs/o" {
+		t.Errorf("Apply: got Parallelism=%d TrialTimeout=%v ObsDir=%q", cfg.Parallelism, cfg.TrialTimeout, cfg.ObsDir)
+	}
+}
+
+func TestCommonFlagsValidate(t *testing.T) {
+	parse := func(args ...string) *CommonFlags {
+		fs := flag.NewFlagSet("ntier-test", flag.ContinueOnError)
+		c := RegisterCommonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := parse("-resume").Validate(); err == nil || !strings.Contains(err.Error(), "-state-dir") {
+		t.Errorf("Validate with bare -resume: %v, want an error naming -state-dir", err)
+	}
+	if err := parse("-resume", "-state-dir", "runs/x").Validate(); err != nil {
+		t.Errorf("Validate with -resume -state-dir: %v", err)
+	}
+	if err := parse().Validate(); err != nil {
+		t.Errorf("Validate with defaults: %v", err)
+	}
+}
+
+func TestCommonFlagsOpenState(t *testing.T) {
+	parse := func(args ...string) *CommonFlags {
+		fs := flag.NewFlagSet("ntier-test", flag.ContinueOnError)
+		c := RegisterCommonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Unset -state-dir is a no-op: nil cleanup, no state attached.
+	var cfg experiment.RunConfig
+	closeFn, err := parse().OpenState(&cfg, "fp")
+	if err != nil || closeFn != nil || cfg.State != nil {
+		t.Errorf("OpenState without -state-dir: close=%t err=%v state=%v", closeFn != nil, err, cfg.State)
+	}
+
+	dir := filepath.Join(t.TempDir(), "state")
+	closeFn, err = parse("-state-dir", dir).OpenState(&cfg, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeFn == nil || cfg.State == nil {
+		t.Fatal("OpenState with -state-dir attached no state")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	// A populated state dir must be refused without -resume and accepted
+	// with it.
+	var cfg2 experiment.RunConfig
+	if _, err := parse("-state-dir", dir).OpenState(&cfg2, "fp"); err == nil {
+		t.Error("OpenState reopened a populated state dir without -resume")
+	}
+	closeFn, err = parse("-state-dir", dir, "-resume").OpenState(&cfg2, "fp")
+	if err != nil {
+		t.Fatalf("OpenState with -resume: %v", err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,137 @@
+package search
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/softres/ntier/internal/experiment"
+)
+
+// frontier computes the Pareto frontier of the measured points at one
+// threshold index: per allocation, the best goodput across its measured
+// workloads; an allocation survives when no other measured allocation
+// achieves at least its goodput with at most its units (and strictly
+// better on one axis). The result is sorted by ascending units.
+func frontier(points []Point, thIdx int) []FrontierPoint {
+	type bestOf struct {
+		fp    FrontierPoint
+		valid bool
+	}
+	best := make(map[string]*bestOf)
+	var order []string // deterministic iteration, points pre-sorted
+	for _, p := range points {
+		key := p.Soft.String()
+		b, ok := best[key]
+		if !ok {
+			b = &bestOf{}
+			best[key] = b
+			order = append(order, key)
+		}
+		g := p.Goodputs[thIdx]
+		if !b.valid || g > b.fp.Goodput {
+			b.fp = FrontierPoint{Soft: p.Soft, Units: p.Units, Goodput: g, Workload: p.Workload}
+			b.valid = true
+		}
+	}
+	var all []FrontierPoint
+	for _, key := range order {
+		all = append(all, best[key].fp)
+	}
+	var out []FrontierPoint
+	for i, a := range all {
+		dominated := false
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			if b.Goodput >= a.Goodput && b.Units <= a.Units &&
+				(b.Goodput > a.Goodput || b.Units < a.Units) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	// Points (and hence all) are already unit-ascending; keep that order.
+	return out
+}
+
+// WriteCSV writes the Pareto frontiers — one row per non-dominated
+// allocation per SLA threshold — in the repository's CSV style: metrics
+// with two decimals, a header row, deterministic ordering (thresholds in
+// option order, frontiers by ascending units).
+func (o *Outcome) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sla_s", "soft", "total_units", "goodput", "workload"}); err != nil {
+		return err
+	}
+	for i, th := range o.Thresholds {
+		for _, fp := range o.Frontiers[i] {
+			row := []string{
+				fmt.Sprintf("%.1f", th.Seconds()),
+				fp.Soft.String(),
+				strconv.Itoa(fp.Units),
+				fmt.Sprintf("%.2f", fp.Goodput),
+				strconv.Itoa(fp.Workload),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePointsCSV writes every measured trial — the search's full evidence
+// — with goodput per threshold, in the style of Curve.WriteCSV.
+func (o *Outcome) WritePointsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"soft", "total_units", "workload", "throughput"}
+	for _, th := range o.Thresholds {
+		header = append(header, fmt.Sprintf("goodput_%s", th))
+	}
+	header = append(header, "mean_rt_s")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range o.Points {
+		row := []string{
+			p.Soft.String(),
+			strconv.Itoa(p.Units),
+			strconv.Itoa(p.Workload),
+			fmt.Sprintf("%.2f", p.Throughput),
+		}
+		for _, g := range p.Goodputs {
+			row = append(row, fmt.Sprintf("%.2f", g))
+		}
+		row = append(row, fmt.Sprintf("%.4f", p.MeanRT.Seconds()))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the Pareto frontiers as a fixed-width text table, one
+// section row group per SLA threshold.
+func (o *Outcome) Table() *experiment.Table {
+	t := &experiment.Table{
+		Title:   "Pareto frontier: goodput vs. total allocated soft resources",
+		Headers: []string{"sla", "soft", "units", "goodput", "workload"},
+	}
+	for i, th := range o.Thresholds {
+		for _, fp := range o.Frontiers[i] {
+			t.AddRow(th.String(), fp.Soft.String(),
+				strconv.Itoa(fp.Units),
+				fmt.Sprintf("%.1f", fp.Goodput),
+				strconv.Itoa(fp.Workload))
+		}
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/jvm"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// quickstartConfig mirrors the README quickstart topology: 1/2/1/2
+// hardware under the default RUBBoS-style mix.
+func quickstartConfig(soft testbed.SoftAlloc, users int) experiment.RunConfig {
+	return experiment.RunConfig{
+		Testbed: testbed.Options{
+			Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+			Soft:     soft,
+			Seed:     21,
+		},
+		Users:   users,
+		RampUp:  15 * time.Second,
+		Measure: 30 * time.Second,
+	}
+}
+
+// TestSurrogateValidation cross-checks the MVA surrogate against the
+// simulator on the quickstart topology: calibrate from one trial at 2000
+// users, then predict the 4000-user point it has never seen.
+//
+// Tolerances and their rationale:
+//   - Throughput within 15% below saturation. The surrogate is a separable
+//     product-form model; the simulator has non-product effects (pool
+//     admission, finite buffers), so exact agreement is impossible, but
+//     both exploration and the paper's own MVA comparisons sit well inside
+//     15% before the knee (observed here: ~2%).
+//   - Mean response time within a factor of 3 below saturation. Response
+//     time is far more sensitive than throughput to the queueing details
+//     the surrogate abstracts away; a factor-3 band still separates the
+//     "tens of ms" regime from SLA-violating seconds.
+//   - An under-allocated pool must be predicted at most 75% of an adequate
+//     allocation's throughput at the same workload — the ranking signal
+//     the optimizer actually relies on (direction, not magnitude).
+func TestSurrogateValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-check skipped in short mode")
+	}
+	soft := testbed.SoftAlloc{WebThreads: 400, AppThreads: 15, AppConns: 6}
+	calRes, err := experiment.Run(quickstartConfig(soft, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := Calibrate(calRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sur.WebDemand <= 0 || sur.AppDemand <= 0 || sur.MidDemand <= 0 || sur.DBDemand <= 0 {
+		t.Fatalf("calibration produced non-positive demands: %+v", sur)
+	}
+	if sur.QueriesPerReq < 1 {
+		t.Fatalf("QueriesPerReq = %.2f, want >= 1", sur.QueriesPerReq)
+	}
+
+	relErr := func(pred, meas float64) float64 {
+		return math.Abs(pred-meas) / meas
+	}
+
+	// In-sample: the calibration point itself.
+	p, err := sur.Predict(soft, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(p.Throughput, calRes.Throughput()); e > 0.15 {
+		t.Errorf("calibration-point throughput: predicted %.1f, measured %.1f (err %.1f%%, tol 15%%)",
+			p.Throughput, calRes.Throughput(), e*100)
+	}
+
+	// Out-of-sample: double the workload, still below saturation.
+	simRes, err := experiment.Run(quickstartConfig(soft, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := sur.Predict(soft, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(p4.Throughput, simRes.Throughput()); e > 0.15 {
+		t.Errorf("4000-user throughput: predicted %.1f, measured %.1f (err %.1f%%, tol 15%%)",
+			p4.Throughput, simRes.Throughput(), e*100)
+	}
+	predR, simR := p4.Response.Seconds(), simRes.MeanRT().Seconds()
+	if predR > 3*simR || simR > 3*predR {
+		t.Errorf("4000-user response: predicted %v, measured %v (outside factor-3 band)",
+			p4.Response, simRes.MeanRT())
+	}
+
+	// Direction: a starved thread pool must be predicted well below the
+	// adequate allocation at the same workload (the Fig. 2 signature).
+	starved, err := sur.Predict(testbed.SoftAlloc{WebThreads: 400, AppThreads: 4, AppConns: 2}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Throughput > 0.75*p4.Throughput {
+		t.Errorf("under-allocation not penalized: starved predicted %.1f vs adequate %.1f",
+			starved.Throughput, p4.Throughput)
+	}
+	if starved.Limit != "app-threads" {
+		t.Errorf("starved limit = %q, want app-threads", starved.Limit)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	sur := &Surrogate{
+		HW:        testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		Think:     7 * time.Second,
+		WebDemand: time.Millisecond, AppDemand: 2 * time.Millisecond,
+		MidDemand: time.Millisecond, DBDemand: 2 * time.Millisecond,
+		QueriesPerReq: 1,
+		AppJVM:        jvm.DefaultConfig(), MidJVM: jvm.DefaultConfig(),
+	}
+	if _, err := sur.Predict(testbed.SoftAlloc{}, 100); err == nil {
+		t.Error("Predict accepted an empty allocation")
+	}
+	if _, err := sur.Predict(testbed.SoftAlloc{WebThreads: 10, AppThreads: 5, AppConns: 2}, 0); err == nil {
+		t.Error("Predict accepted zero users")
+	}
+}
+
+func TestGoodputApproximation(t *testing.T) {
+	p := Prediction{Throughput: 100, Response: 500 * time.Millisecond}
+	g1, g2 := p.Goodput(500*time.Millisecond), p.Goodput(2*time.Second)
+	if !(g1 > 0 && g1 < g2 && g2 < 100) {
+		t.Errorf("goodput not monotone in SLA: %.1f, %.1f", g1, g2)
+	}
+	fast := Prediction{Throughput: 100, Response: 0}
+	if g := fast.Goodput(time.Second); g != 100 {
+		t.Errorf("zero-response goodput = %.1f, want full throughput", g)
+	}
+}
+
+func TestGCFraction(t *testing.T) {
+	cfg := jvm.DefaultConfig()
+	if f := gcFraction(cfg, 100, 0); f != 0 {
+		t.Errorf("zero allocation rate: gc fraction %.2f, want 0", f)
+	}
+	small := gcFraction(cfg, 20, 50)
+	big := gcFraction(cfg, 2000, 50)
+	if !(small >= 0 && small < big) {
+		t.Errorf("gc fraction not increasing in slots: %.3f vs %.3f", small, big)
+	}
+	if f := gcFraction(cfg, 100000, 1e9); f != 0.9 {
+		t.Errorf("thrashing gc fraction = %.2f, want clamp at 0.9", f)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/softres/ntier/internal/fault"
 	"github.com/softres/ntier/internal/obs"
 	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/search"
 	"github.com/softres/ntier/internal/sla"
 	"github.com/softres/ntier/internal/testbed"
 	"github.com/softres/ntier/internal/tier"
@@ -129,6 +130,17 @@ type (
 // ErrFingerprintMismatch reports a resume attempt whose flags differ from
 // the run that created the state directory.
 var ErrFingerprintMismatch = experiment.ErrFingerprintMismatch
+
+// Journal is one write-ahead trial journal inside a RunState; obtain one
+// from RunState.Journal and pass it to RunJournaled.
+type Journal = experiment.Journal
+
+// RunJournaled executes one trial through a journal (nil j simply runs):
+// an already-journaled outcome is restored without simulating, a fresh
+// outcome is fsynced to the journal before returning.
+func RunJournaled(cfg RunConfig, j *Journal) (*Result, error) {
+	return experiment.RunJournaled(cfg, j)
+}
 
 // OpenState creates or (with resume) reopens a run-state directory for
 // the invocation identified by fingerprint.
@@ -304,3 +316,35 @@ func Scenarios() []Scenario { return experiment.Scenarios() }
 
 // ScenarioByName resolves a built-in fault scenario.
 func ScenarioByName(name string) (Scenario, error) { return experiment.ScenarioByName(name) }
+
+// Surrogate-guided allocation search (see cmd/ntier-search and
+// EXPERIMENTS.md): a budgeted optimizer over the soft-resource
+// configuration space that pre-ranks candidates with a calibrated MVA
+// surrogate, spends its trial budget by successive halving over a workload
+// ladder, and steers mutation with the obs bottleneck verdicts.
+type (
+	// SearchOptions configures one budgeted search.
+	SearchOptions = search.Options
+	// SearchOutcome is a search result: the best allocation, every
+	// measured point, per-threshold Pareto frontiers, and a decision log.
+	SearchOutcome = search.Outcome
+	// SearchPoint is one measured (allocation, workload) trial.
+	SearchPoint = search.Point
+	// ParetoPoint is one non-dominated allocation at one SLA threshold.
+	ParetoPoint = search.FrontierPoint
+	// MVASurrogate is the calibrated analytic model behind the pre-ranking.
+	MVASurrogate = search.Surrogate
+	// SurrogatePrediction is the surrogate's estimate for one point.
+	SurrogatePrediction = search.Prediction
+)
+
+// Search runs the budgeted optimizer.
+func Search(opts SearchOptions) (*SearchOutcome, error) { return search.Run(opts) }
+
+// CalibrateSurrogate builds the MVA surrogate from one measured trial run
+// below saturation with a generous allocation.
+func CalibrateSurrogate(res *Result) (*MVASurrogate, error) { return search.Calibrate(res) }
+
+// SearchTotalUnits is the search's cost axis: total resident pool units of
+// an allocation across the hardware.
+func SearchTotalUnits(hw Hardware, soft SoftAlloc) int { return search.TotalUnits(hw, soft) }

@@ -1,0 +1,133 @@
+// Command ntier-bench converts `go test -bench` output into the repo's
+// BENCH_*.json performance-trajectory format, so per-figure runtimes and
+// headline metrics are diffable PR-over-PR (see ROADMAP item 1: there was
+// no recorded baseline before the first snapshot).
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | ntier-bench > BENCH_$(date +%F).json
+//
+// The input is the standard benchmark text format: one line per benchmark
+// with an iteration count, ns/op, and any custom b.ReportMetric pairs.
+// Non-benchmark lines (goos/goarch/pkg/cpu headers, PASS/ok trailers) are
+// captured as environment metadata or skipped.
+//
+// ntier-bench is a pure stdin-to-stdout filter: it runs no trials, so it
+// is exempt from cli.RegisterCommonFlags (see cmdflags_test.go).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark line: its name (trailing -GOMAXPROCS stripped),
+// wall time per iteration, and every custom metric it reported.
+type Bench struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the top-level BENCH_*.json document.
+type Snapshot struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Package    string  `json:"pkg,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(in io.Reader, stdout, stderr io.Writer) int {
+	snap, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "ntier-bench: %v\n", err)
+		return 1
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "ntier-bench: no benchmark lines on stdin (run `go test -bench=. -benchtime=1x -run '^$' .`)")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(stderr, "ntier-bench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func parse(in io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBench decodes one result line:
+//
+//	BenchmarkName-8  1  1234567 ns/op  42.5 some_metric  7.1 other_metric
+func parseBench(line string) (Bench, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Bench{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("iteration count in %q: %v", line, err)
+	}
+	b := Bench{Name: name, Iters: iters}
+	// The remainder is "value unit" pairs; ns/op is pulled out, every
+	// other unit is a custom metric.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("metric value in %q: %v", line, err)
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/softres/ntier
+cpu: Example CPU @ 2.00GHz
+BenchmarkFig2Goodput112-8             1        2512345678 ns/op               491.2 400-15-6_g0.5s_wl4400          310.0 400-6-6_g0.5s_wl4400
+BenchmarkSearch-8                     1         812345678 ns/op                 4.000 trials                       120.5 bestGoodput
+PASS
+ok      github.com/softres/ntier        12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.Package != "github.com/softres/ntier" {
+		t.Errorf("environment header misparsed: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkFig2Goodput112" {
+		t.Errorf("name %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iters != 1 || b.NsPerOp != 2512345678 {
+		t.Errorf("iters %d ns/op %g misparsed", b.Iters, b.NsPerOp)
+	}
+	if b.Metrics["400-15-6_g0.5s_wl4400"] != 491.2 {
+		t.Errorf("custom metric misparsed: %v", b.Metrics)
+	}
+	if snap.Benchmarks[1].Metrics["trials"] != 4 {
+		t.Errorf("search metrics misparsed: %v", snap.Benchmarks[1].Metrics)
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errb.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Errorf("round-trip lost benchmarks: %d", len(snap.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader("PASS\n"), &out, &errb); code == 0 {
+		t.Error("empty benchmark input accepted")
+	}
+}

@@ -49,6 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		measure  = fs.Duration("measure", 0, "measured runtime (simulated; 0 = scenario default)")
 		thS      = fs.Duration("sla", 0, "goodput threshold for the timeline (0 = scenario default)")
 		csvPath  = fs.String("csv", "", "write the per-second timeline CSV to this file (per allocation)")
+
+		rate      = fs.Float64("rate", 60, "flash-crowd: steady offered arrival rate (req/s)")
+		spikeMult = fs.Float64("spike-mult", 4, "flash-crowd: spike multiplier over the base rate")
+		spikeAt   = fs.Duration("spike-at", 20*time.Second, "flash-crowd: spike start (offset into the measurement window)")
+		spikeFor  = fs.Duration("spike-for", 10*time.Second, "flash-crowd: spike duration")
+		deadline  = fs.Duration("deadline", 0, "flash-crowd: end-to-end request deadline (0 = none)")
+		admission = fs.Bool("admission", false, "flash-crowd: arm overload protection (resilience + adaptive admission)")
 	)
 	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -63,14 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, sc := range ntier.Scenarios() {
 			fmt.Fprintf(stdout, "  %-16s %s\n", sc.Name, sc.Description)
 		}
+		fmt.Fprintf(stdout, "  %-16s %s\n", "flash-crowd",
+			"open-system arrival spike (-rate, -spike-mult, -spike-at, -spike-for, -deadline, -admission)")
 		return 0
 	}
 	if *scenario == "" {
 		return cli.Fail(fs, fmt.Errorf("-scenario: required (run -list for the catalogue)"))
-	}
-	sc, err := ntier.ScenarioByName(*scenario)
-	if err != nil {
-		return cli.Fail(fs, fmt.Errorf("-scenario: %w", err))
 	}
 	hw, err := cli.ParseHardware(*hwS)
 	if err != nil {
@@ -80,12 +85,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return cli.Fail(fs, err)
 	}
-	if *users <= 0 {
-		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
-	}
 
 	ctx, stop := cli.WithSignalContext(context.Background())
 	defer stop()
+
+	if *scenario == "flash-crowd" {
+		if *rate <= 0 {
+			return cli.Fail(fs, fmt.Errorf("-rate: must be positive, got %g", *rate))
+		}
+		fc := flashFlags{
+			rate: *rate, mult: *spikeMult, at: *spikeAt, dur: *spikeFor,
+			deadline: *deadline, admission: *admission, sla: *thS, csv: *csvPath,
+		}
+		return runFlashCrowd(ctx, stdout, stderr, common, hw, allocs, *seed, *ramp, *measure, fc)
+	}
+
+	sc, err := ntier.ScenarioByName(*scenario)
+	if err != nil {
+		return cli.Fail(fs, fmt.Errorf("-scenario: %w", err))
+	}
+	if *users <= 0 {
+		return cli.Fail(fs, fmt.Errorf("-wl: workload must be positive, got %d", *users))
+	}
 
 	// A state directory pins the campaign identity (fingerprint-checked on
 	// -resume); scenario trials are short and re-run rather than replay.
@@ -147,6 +168,100 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cli.ExitCode(runErr)
 	}
 	return 0
+}
+
+// flashFlags bundles the flash-crowd command-line knobs.
+type flashFlags struct {
+	rate, mult float64
+	at, dur    time.Duration
+	deadline   time.Duration
+	admission  bool
+	sla        time.Duration
+	csv        string
+}
+
+// runFlashCrowd executes the open-system flash-crowd scenario for every
+// allocation: steady arrivals at fc.rate, multiplied by fc.mult during the
+// spike window, reporting goodput recovery and queue-drain times.
+func runFlashCrowd(ctx context.Context, stdout, stderr io.Writer, common *cli.CommonFlags, hw ntier.Hardware, allocs []ntier.SoftAlloc, seed uint64, ramp, measure time.Duration, fc flashFlags) int {
+	outputs := make([]bytes.Buffer, len(allocs))
+	runErr := ntier.ForEachIndexCtx(ctx, len(allocs), *common.Parallel, func(i int) error {
+		soft := allocs[i]
+		w := &outputs[i]
+		base := ntier.RunConfig{
+			Testbed:  ntier.TestbedOptions{Hardware: hw, Soft: soft, Seed: seed},
+			RampUp:   ramp,
+			Measure:  measure,
+			Deadline: fc.deadline,
+			Ctx:      ctx,
+		}
+		if fc.admission {
+			base.Testbed.Resilience = ntier.OverloadProtection()
+		}
+		common.Apply(&base)
+		cfg := ntier.FlashCrowdConfig{
+			Run:        base,
+			BaseRate:   fc.rate,
+			SpikeMult:  fc.mult,
+			SpikeStart: fc.at,
+			SpikeDur:   fc.dur,
+		}
+		if fc.sla > 0 {
+			cfg.GoodputThreshold = fc.sla
+		}
+		fr, err := ntier.RunFlashCrowd(cfg)
+		if err != nil {
+			return err
+		}
+		printFlash(w, fr)
+		if fc.csv != "" {
+			path := allocCSVPath(fc.csv, soft.String(), len(allocs) > 1)
+			if err := writeFlashTimeline(path, fr); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "timeline written to %s\n", path)
+		}
+		fmt.Fprintln(w)
+		return nil
+	})
+	for i := range outputs {
+		io.Copy(stdout, &outputs[i])
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return cli.ExitCode(runErr)
+	}
+	return 0
+}
+
+func printFlash(w io.Writer, fr *ntier.FlashCrowdResult) {
+	fmt.Fprintf(w, "=== flash-crowd  soft %s ===\n", fr.Config.Run.Testbed.Soft)
+	fmt.Fprintln(w, fr.Describe())
+	if fr.PreSpikeGoodput > 0 {
+		fmt.Fprintf(w, "pre-spike goodput %.1f req/s", fr.PreSpikeGoodput)
+		if fr.RecoveryTime >= 0 {
+			fmt.Fprintf(w, ", recovered at +%v (%v after spike end)",
+				fr.RecoveredAt.Round(time.Second), fr.RecoveryTime.Round(time.Second))
+		}
+		fmt.Fprintln(w)
+	}
+	if fr.DrainTime >= 0 {
+		fmt.Fprintf(w, "queues drained %v after spike end\n", fr.DrainTime.Round(time.Second))
+	} else {
+		fmt.Fprintln(w, "queues never drained to the pre-spike level")
+	}
+}
+
+func writeFlashTimeline(path string, fr *ntier.FlashCrowdResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteTimelineCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printScenario(w io.Writer, name string, sr *ntier.ScenarioResult) {

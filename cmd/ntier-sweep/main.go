@@ -8,6 +8,10 @@
 // Sweep a pool size (Fig. 4 / 5 / 6 / 10):
 //
 //	ntier-sweep -hw 1/2/1/2 -soft 400-15-20 -vary threads -sizes 6,10,20,200 -wl 4000:6800:400
+//
+// Overload sweep (open-system arrivals; offered load can exceed capacity):
+//
+//	ntier-sweep -hw 1/2/1/2 -soft 400-15-6 -rate 100,200,400,800 -deadline 2s -admission
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	ntier "github.com/softres/ntier"
@@ -41,6 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		thS     = fs.Duration("sla", 2*time.Second, "SLA threshold for the goodput table")
 		noGC    = fs.Bool("no-gc", false, "ablation: disable the JVM GC model")
 		noFin   = fs.Bool("no-finwait", false, "ablation: disable Apache lingering close")
+
+		rateS     = fs.String("rate", "", "overload mode: comma-separated offered arrival rates (req/s); replaces the closed-loop -wl axis and ignores -vary")
+		deadline  = fs.Duration("deadline", 0, "end-to-end request deadline for overload mode (0 = none)")
+		admission = fs.Bool("admission", false, "arm overload protection: resilience layer + adaptive admission control")
+		csvPath   = fs.String("csv", "", "write each curve as CSV to this file (per allocation)")
 	)
 	common := cli.RegisterCommonFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +89,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Ctx:     ctx,
 		Obs:     ntier.ObsConfig{SLA: *thS},
 	}
+	if *admission {
+		base.Testbed.Resilience = ntier.OverloadProtection()
+	}
 	common.Apply(&base)
 
-	closeState, err := common.OpenState(&base, ntier.Fingerprint(base, "ntier-sweep", *softS, *wlS, *vary, *sizesS))
+	// The overload flags extend the fingerprint only when used, so state
+	// directories from closed-loop campaigns keep resuming.
+	fpExtra := []string{"ntier-sweep", *softS, *wlS, *vary, *sizesS}
+	if *rateS != "" {
+		fpExtra = append(fpExtra, *rateS, deadline.String())
+	}
+	closeState, err := common.OpenState(&base, ntier.Fingerprint(base, fpExtra...))
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -95,6 +115,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, hint)
 		}
 		return cli.ExitCode(err)
+	}
+
+	if *rateS != "" {
+		rates, err := cli.ParseFloats(*rateS)
+		if err != nil || len(rates) == 0 {
+			return cli.Fail(fs, fmt.Errorf("-rate: need a comma-separated rate list (got %q)", *rateS))
+		}
+		return runOverload(stdout, fail, base, allocs, rates, *deadline, *thS, *csvPath)
 	}
 
 	var curves []*ntier.Curve
@@ -142,5 +170,123 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	title := fmt.Sprintf("goodput [req/s] within %v", *thS)
 	fmt.Fprint(stdout, ntier.CurveTable(title, *thS, curves...).String())
+	printCountTables(stdout, curves)
+	if *csvPath != "" {
+		for _, c := range curves {
+			path := labelCSVPath(*csvPath, c.Label, len(curves) > 1)
+			if err := writeCurveCSV(path, func(w io.Writer) error {
+				return c.WriteCSV(w, ntier.StandardThresholds)
+			}); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "csv written to %s\n", path)
+		}
+	}
 	return 0
+}
+
+// runOverload drives the open-system goodput-vs-offered-load sweep for each
+// allocation and prints the saturation table.
+func runOverload(stdout io.Writer, fail func(error) int, base ntier.RunConfig, allocs []ntier.SoftAlloc, rates []float64, deadline, th time.Duration, csvPath string) int {
+	var curves []*ntier.OverloadCurve
+	for _, soft := range allocs {
+		cfg := base
+		cfg.Testbed.Soft = soft
+		cfg.Deadline = deadline
+		curve, err := ntier.OverloadSweep(cfg, rates)
+		if err != nil {
+			return fail(err)
+		}
+		curves = append(curves, curve)
+	}
+
+	fmt.Fprintln(stdout, "peak goodput per allocation (offered-load sweep):")
+	for _, c := range curves {
+		fmt.Fprintf(stdout, "  %-24s peak goodput(%v) %8.1f req/s\n", c.Label, th, c.PeakGoodput(th))
+	}
+	fmt.Fprintln(stdout)
+
+	t := &ntier.Table{Title: fmt.Sprintf("goodput [req/s] within %v vs offered load", th)}
+	t.Headers = []string{"rate"}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Label, "shed")
+	}
+	for i, rate := range rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for _, c := range curves {
+			if c.Results[i] == nil {
+				row = append(row, "ERR", "-")
+				continue
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", c.Results[i].Goodput(th)),
+				fmt.Sprintf("%d", c.Results[i].Shed))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprint(stdout, t.String())
+
+	if csvPath != "" {
+		for _, c := range curves {
+			path := labelCSVPath(csvPath, c.Label, len(curves) > 1)
+			if err := writeCurveCSV(path, func(w io.Writer) error {
+				return c.WriteCSV(w, ntier.StandardThresholds)
+			}); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "csv written to %s\n", path)
+		}
+	}
+	return 0
+}
+
+// printCountTables surfaces the non-goodput outcomes — error responses,
+// abandoned sessions, shed requests — whenever a sweep saw any, so they
+// never hide behind the goodput table.
+func printCountTables(stdout io.Writer, curves []*ntier.Curve) {
+	counts := []struct {
+		name string
+		get  func(*ntier.Result) uint64
+	}{
+		{"error/degraded responses", func(r *ntier.Result) uint64 { return r.Errors }},
+		{"abandoned sessions (patience exceeded)", func(r *ntier.Result) uint64 { return r.Abandoned }},
+		{"shed requests (admission + deadline)", func(r *ntier.Result) uint64 { return r.Shed }},
+	}
+	for _, ct := range counts {
+		any := false
+		for _, c := range curves {
+			for _, r := range c.Results {
+				if r != nil && ct.get(r) > 0 {
+					any = true
+				}
+			}
+		}
+		if any {
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, ntier.CurveCountTable(ct.name, ct.get, curves...).String())
+		}
+	}
+}
+
+// labelCSVPath derives a per-curve CSV file name: with several curves the
+// curve label is inserted before the extension.
+func labelCSVPath(path, label string, many bool) string {
+	if !many {
+		return path
+	}
+	ext := filepath.Ext(path)
+	clean := strings.NewReplacer("/", "_", "(", "-", ")", "").Replace(label)
+	return path[:len(path)-len(ext)] + "-" + clean + ext
+}
+
+func writeCurveCSV(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

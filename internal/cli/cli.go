@@ -93,6 +93,24 @@ func ParseWorkloads(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseFloats parses a comma-separated float list, skipping empty
+// segments (offered-load rates for the overload sweeps).
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 // ParseInts parses a comma-separated integer list, skipping empty
 // segments.
 func ParseInts(s string) ([]int, error) {

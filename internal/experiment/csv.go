@@ -9,9 +9,11 @@ import (
 )
 
 // WriteCSV writes one curve's full per-workload record — throughput,
-// goodput per threshold, error/degraded responses, mean/p95 response time,
-// and per-tier CPU — as CSV for external plotting. The errors column keeps
-// badput visible in fault-scenario curves. A workload whose trial failed
+// goodput per threshold, error/degraded responses, shed/abandoned/late
+// counts, mean/p95 response time, and per-tier CPU — as CSV for external
+// plotting. The errors column keeps badput visible in fault-scenario
+// curves; shed and abandoned keep deliberate rejections and frustrated
+// users visible next to it. A workload whose trial failed
 // (Curve.Errs) still gets a row: empty metric cells and the failure in the
 // status column, so a partially-failed sweep remains plottable.
 func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
@@ -20,7 +22,7 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 	for _, th := range thresholds {
 		header = append(header, fmt.Sprintf("goodput_%s", th))
 	}
-	header = append(header, "errors", "mean_rt_s", "p95_rt_s",
+	header = append(header, "errors", "shed", "abandoned", "late", "mean_rt_s", "p95_rt_s",
 		"apache_cpu", "tomcat_cpu", "cjdbc_cpu", "mysql_cpu", "status")
 	if err := cw.Write(header); err != nil {
 		return err
@@ -47,6 +49,9 @@ func (c *Curve) WriteCSV(w io.Writer, thresholds []time.Duration) error {
 		}
 		row = append(row,
 			strconv.FormatUint(r.Errors, 10),
+			strconv.FormatUint(r.Shed, 10),
+			strconv.FormatUint(r.Abandoned, 10),
+			strconv.FormatUint(r.Late, 10),
 			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Mean()),
 			fmt.Sprintf("%.4f", r.SLA.ResponseTimes().Percentile(95)),
 			fmt.Sprintf("%.4f", TierCPU(r.Apache)),

@@ -31,16 +31,18 @@ func TestWriteCSV(t *testing.T) {
 	if records[0][0] != "workload" || records[1][0] != "300" || records[2][0] != "600" {
 		t.Errorf("rows: %v", records)
 	}
-	wantCols := 2 + len(sla.StandardThresholds) + 8
+	wantCols := 2 + len(sla.StandardThresholds) + 11
 	if len(records[0]) != wantCols {
 		t.Errorf("csv has %d columns, want %d", len(records[0]), wantCols)
 	}
 	errCol := 2 + len(sla.StandardThresholds)
-	if records[0][errCol] != "errors" {
-		t.Errorf("column %d is %q, want errors", errCol, records[0][errCol])
-	}
-	if records[1][errCol] != "0" || records[2][errCol] != "0" {
-		t.Errorf("fault-free sweep reported errors: %v %v", records[1][errCol], records[2][errCol])
+	for off, name := range []string{"errors", "shed", "abandoned", "late"} {
+		if records[0][errCol+off] != name {
+			t.Errorf("column %d is %q, want %s", errCol+off, records[0][errCol+off], name)
+		}
+		if records[1][errCol+off] != "0" || records[2][errCol+off] != "0" {
+			t.Errorf("fault-free sweep reported %s: %v %v", name, records[1][errCol+off], records[2][errCol+off])
+		}
 	}
 }
 

@@ -31,6 +31,19 @@ type RunConfig struct {
 	ThinkMean   time.Duration
 	ClientNodes int
 
+	// Arrivals, when set, replaces the closed-loop user population with an
+	// open-system arrival process (Users and ThinkMean are then ignored):
+	// requests arrive on the spec's schedule regardless of completions, so
+	// offered load can exceed capacity. See trace.Poisson, trace.FlashCrowd,
+	// trace.MMPP.
+	Arrivals trace.ArrivalSpec
+
+	// Deadline, when positive on an open-system trial, stamps every request
+	// with an end-to-end response budget: tiers fail fast once the budget
+	// cannot cover their recent service estimate (counted as shed, not
+	// error), and responses past the budget count as late.
+	Deadline time.Duration
+
 	// Trial protocol. The paper runs 8-minute ramps and 12-minute
 	// runtimes; the defaults are scaled down for fast simulation and can
 	// be raised to paper scale via cmd/ntier-figures -full.
@@ -170,8 +183,22 @@ type Result struct {
 	SLA *sla.Collector
 
 	// Errors counts requests answered with an error or degraded response
-	// during the measurement window (0 in a fault-free trial).
+	// during the measurement window (0 in a fault-free trial). Shed
+	// requests are counted separately.
 	Errors uint64
+
+	// Shed counts requests rejected by load shedding during the window —
+	// admission control and deadline fail-fast. Shed requests are refused
+	// cheaply and deliberately; they are neither goodput nor errors.
+	Shed uint64
+
+	// Late counts responses that completed but blew their end-to-end
+	// deadline (0 unless RunConfig.Deadline is set).
+	Late uint64
+
+	// Abandoned counts sessions abandoned over slow responses during the
+	// window (0 unless the closed-loop client models patience).
+	Abandoned uint64
 
 	Apache, Tomcat, CJDBC, MySQL []ServerStats
 
@@ -267,20 +294,47 @@ func Run(cfg RunConfig) (res *Result, err error) {
 		ccfg.Tracer = tracer
 	}
 	var errCount uint64
-	_, err = tb.StartWorkload(ccfg, func(it *rubbos.Interaction, issued, rt time.Duration, rerr error) {
+	collect := func(it *rubbos.Interaction, issued, rt time.Duration, rerr error) {
 		if issued < measureStart {
 			return
 		}
 		if rerr != nil {
+			if k, ok := tier.ErrKind(rerr); ok && (k == tier.FailShed || k == tier.FailDeadline) {
+				// Shed requests were refused cheaply and deliberately —
+				// count them apart from errors so overload protection is
+				// visible, not hidden inside the failure column.
+				collector.ObserveShed()
+				return
+			}
 			// Error responses are not goodput; count them separately.
 			errCount++
 			return
 		}
 		collector.Observe(rt)
-	})
+		if cfg.Deadline > 0 && rt > cfg.Deadline {
+			collector.ObserveLate()
+		}
+	}
+	var w *rubbos.Workload
+	if cfg.Arrivals != nil {
+		w, err = tb.StartOpenWorkload(rubbos.OpenConfig{
+			Arrivals:    cfg.Arrivals,
+			ClientNodes: cfg.ClientNodes,
+			Matrix:      cfg.Mix,
+			Seed:        cfg.Testbed.Seed,
+			Tracer:      tracer,
+			Deadline:    cfg.Deadline,
+		}, collect)
+	} else {
+		w, err = tb.StartWorkload(ccfg, collect)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Baseline the abandonment counter one tie-breaking nanosecond after the
+	// ramp-end ResetStats so only window abandonments count (pure read).
+	var abandonedBase uint64
+	tb.Env.At(measureStart+time.Nanosecond, func() { abandonedBase = w.Abandoned() })
 
 	var sampled *samples
 	if cfg.Timeline {
@@ -312,7 +366,11 @@ func Run(cfg RunConfig) (res *Result, err error) {
 	}
 
 	collector.SetElapsed(cfg.Measure)
-	res = &Result{Config: cfg, SLA: collector, Errors: errCount}
+	res = &Result{
+		Config: cfg, SLA: collector, Errors: errCount,
+		Shed: collector.Shed(), Late: collector.Late(),
+		Abandoned: w.Abandoned() - abandonedBase,
+	}
 	res.Apache, res.Tomcat, res.CJDBC, res.MySQL = collectStats(tb)
 
 	if cfg.Timeline && len(tb.Apaches) > 0 {
@@ -456,13 +514,26 @@ func startSampling(tb *testbed.Testbed, start time.Duration) *samples {
 // saw error or degraded responses report the count — badput must not hide
 // behind the goodput numbers.
 func (r *Result) Describe() string {
-	s := fmt.Sprintf("%s %s N=%d: TP %.1f req/s, goodput(2s) %.1f, goodput(1s) %.1f, goodput(0.5s) %.1f, mean RT %s",
-		r.Config.Testbed.Hardware, r.Config.Testbed.Soft, r.Config.Users,
+	load := fmt.Sprintf("N=%d", r.Config.Users)
+	if r.Config.Arrivals != nil {
+		load = r.Config.Arrivals.String()
+	}
+	s := fmt.Sprintf("%s %s %s: TP %.1f req/s, goodput(2s) %.1f, goodput(1s) %.1f, goodput(0.5s) %.1f, mean RT %s",
+		r.Config.Testbed.Hardware, r.Config.Testbed.Soft, load,
 		r.Throughput(),
 		r.Goodput(2*time.Second), r.Goodput(time.Second), r.Goodput(500*time.Millisecond),
 		r.MeanRT().Round(time.Millisecond))
 	if r.Errors > 0 {
 		s += fmt.Sprintf(", errors %d", r.Errors)
+	}
+	if r.Shed > 0 {
+		s += fmt.Sprintf(", shed %d", r.Shed)
+	}
+	if r.Abandoned > 0 {
+		s += fmt.Sprintf(", abandoned %d", r.Abandoned)
+	}
+	if r.Late > 0 {
+		s += fmt.Sprintf(", late %d", r.Late)
 	}
 	return s
 }

@@ -230,6 +230,12 @@ func (c RunConfig) fingerprintBase() string {
 		int64(c.RampUp), int64(c.Measure), c.Thresholds)
 	fmt.Fprintf(&b, " timeline=%t window=%t traceEvery=%d traceKeep=%d",
 		c.Timeline, c.WindowUtil, c.TraceEvery, c.TraceKeep)
+	// Open-system fields are appended only when present, so every
+	// closed-loop fingerprint (and its journals) predating them is
+	// unchanged.
+	if c.Arrivals != nil {
+		fmt.Fprintf(&b, " arr=%s deadline=%d", c.Arrivals, int64(c.Deadline))
+	}
 	return b.String()
 }
 
@@ -241,6 +247,9 @@ func (c RunConfig) fingerprintBase() string {
 type resultPayload struct {
 	SLA        *sla.Collector       `json:"sla"`
 	Errors     uint64               `json:"errors,omitempty"`
+	Shed       uint64               `json:"shed,omitempty"`
+	Late       uint64               `json:"late,omitempty"`
+	Abandoned  uint64               `json:"abandoned,omitempty"`
 	Apache     []ServerStats        `json:"apache,omitempty"`
 	Tomcat     []ServerStats        `json:"tomcat,omitempty"`
 	CJDBC      []ServerStats        `json:"cjdbc,omitempty"`
@@ -255,6 +264,9 @@ func payloadOf(res *Result) *resultPayload {
 	return &resultPayload{
 		SLA:        res.SLA,
 		Errors:     res.Errors,
+		Shed:       res.Shed,
+		Late:       res.Late,
+		Abandoned:  res.Abandoned,
 		Apache:     res.Apache,
 		Tomcat:     res.Tomcat,
 		CJDBC:      res.CJDBC,
@@ -272,6 +284,9 @@ func (p *resultPayload) restore(cfg RunConfig) *Result {
 		Config:     cfg,
 		SLA:        p.SLA,
 		Errors:     p.Errors,
+		Shed:       p.Shed,
+		Late:       p.Late,
+		Abandoned:  p.Abandoned,
 		Apache:     p.Apache,
 		Tomcat:     p.Tomcat,
 		CJDBC:      p.CJDBC,
@@ -292,6 +307,11 @@ func (p *resultPayload) restore(cfg RunConfig) *Result {
 // has: workload sweeps, allocation grids, and the tuner's ramps all vary
 // exactly these two.
 func trialKey(cfg RunConfig) string {
+	if cfg.Arrivals != nil {
+		// Open-system trials vary the arrival spec instead of the user
+		// population (overload sweeps vary the rate at a fixed allocation).
+		return fmt.Sprintf("soft=%s arr=%s dl=%d", cfg.Testbed.Soft, cfg.Arrivals, int64(cfg.Deadline))
+	}
 	return fmt.Sprintf("soft=%s wl=%d", cfg.Testbed.Soft, cfg.Users)
 }
 

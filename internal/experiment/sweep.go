@@ -256,6 +256,34 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// CurveCountTable renders a per-trial counter (errors, shed, abandoned,
+// late — any count accessor) for several curves against the shared
+// workload axis, keeping failure modes visible next to the goodput tables.
+func CurveCountTable(title string, count func(*Result) uint64, curves ...*Curve) *Table {
+	t := &Table{Title: title, Headers: []string{"workload"}}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Label)
+	}
+	if len(curves) == 0 {
+		return t
+	}
+	for i, n := range curves[0].Users {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range curves {
+			switch {
+			case i >= len(c.Results):
+				row = append(row, "-")
+			case c.Results[i] == nil:
+				row = append(row, "ERR")
+			default:
+				row = append(row, fmt.Sprintf("%d", count(c.Results[i])))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
 // CurveTable renders several curves' goodput at one threshold against the
 // shared workload axis — the textual form of a paper figure.
 func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {

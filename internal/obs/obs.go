@@ -120,12 +120,17 @@ func Attach(tb *testbed.Testbed, start time.Duration, cfg Config) *Recorder {
 		ap := a
 		r.pool(ap.Workers)
 		r.gauge(ap.Node.Name()+"/finwait", func() float64 { return float64(ap.FinWaiting()) })
+		// Shed rate (deadline fail-fasts plus admission drops, per second):
+		// the overload-survival view next to the pool's queue-depth gauge,
+		// which doubles as the queue-growth series.
+		r.rate(ap.Node.Name()+"/shed", func() float64 { return float64(ap.Sheds()) }, nil, false)
 	}
 	for _, t := range tb.Tomcats {
 		tc := t
 		r.pool(tc.Threads)
 		r.pool(tc.Conns)
 		r.rate(tc.Node.Name()+"/gc", tc.JVM.GCTimeIntegral, nil, true)
+		r.rate(tc.Node.Name()+"/shed", func() float64 { return float64(tc.Sheds()) }, nil, false)
 	}
 	for _, c := range tb.CJDBCs {
 		cj := c

@@ -66,6 +66,8 @@ type Workload struct {
 	completed uint64
 	abandoned uint64
 	failed    uint64
+	shed      uint64
+	late      uint64
 }
 
 // UsersPerNode returns the emulated-user count per client node, the load
@@ -75,6 +77,15 @@ func (w *Workload) UsersPerNode() float64 {
 		return float64(w.cfg.Users)
 	}
 	return float64(w.cfg.Users) / float64(w.cfg.ClientNodes)
+}
+
+// ClientNodes returns the number of load-generator machines the workload is
+// spread over (at least 1).
+func (w *Workload) ClientNodes() int {
+	if w.cfg.ClientNodes <= 0 {
+		return 1
+	}
+	return w.cfg.ClientNodes
 }
 
 // Issued returns the number of requests sent so far.
@@ -88,8 +99,17 @@ func (w *Workload) Completed() uint64 { return w.completed }
 func (w *Workload) Abandoned() uint64 { return w.abandoned }
 
 // Failed returns the number of requests that ended in an error response
-// (0 in a fault-free simulation).
+// (0 in a fault-free simulation). Shed requests are counted separately.
 func (w *Workload) Failed() uint64 { return w.failed }
+
+// Shed returns the number of requests rejected by load shedding — admission
+// control or deadline fail-fast (0 in closed-loop workloads, whose error
+// classification happens in the experiment layer).
+func (w *Workload) Shed() uint64 { return w.shed }
+
+// Late returns the number of responses that completed after their
+// end-to-end deadline (0 unless an open workload sets OpenConfig.Deadline).
+func (w *Workload) Late() uint64 { return w.late }
 
 // Start launches cfg.Users session processes against target. Each session
 // loops forever: think, issue the current interaction, record the response

@@ -1,0 +1,141 @@
+package rubbos
+
+// Open-system load generation. The closed-loop generator in client.go
+// self-throttles — a slow system slows its own offered load, so overload
+// never happens. StartOpen instead drives the testbed from an external
+// arrival process (trace.ArrivalSpec): requests arrive on schedule whether
+// or not earlier ones have finished, offered load can exceed capacity, and
+// queues grow without bound — the regime where the paper's misallocated
+// configurations collapse instead of plateauing.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// openThinkEquiv is the think time used to convert an arrival rate into an
+// equivalent closed-loop population for the FIN-delay model: by Little's
+// law a closed system of N users with think time Z offers roughly N/Z
+// req/s, so a rate-λ open stream loads the client NICs like λ·Z users
+// (7 s is the paper's think time).
+const openThinkEquiv = 7 * time.Second
+
+// OpenConfig configures the open-system load generator.
+type OpenConfig struct {
+	// Arrivals is the offered-load schedule (Poisson, flash-crowd,
+	// MMPP — see the trace package).
+	Arrivals trace.ArrivalSpec
+	// ClientNodes is the number of load-generator machines the arrival
+	// stream is spread over (2 in the paper); it only affects the
+	// FIN-delay equivalent load.
+	ClientNodes int
+	// Matrix is the navigation graph the stream's interaction sequence is
+	// drawn from (one shared walk — the stream models the aggregate of
+	// many independent sessions).
+	Matrix *Matrix
+	Seed   uint64
+
+	// Tracer, when set, samples per-request phase traces.
+	Tracer *trace.Tracer
+
+	// Deadline, when positive, stamps every request with an end-to-end
+	// response budget. Tiers shed requests whose remaining budget cannot
+	// cover their recent service estimate (counted by Workload.Shed), and
+	// responses completing past the budget count as late (Workload.Late).
+	Deadline time.Duration
+}
+
+// StartOpen launches an open-system workload against target: a single
+// generator process draws inter-arrival gaps from cfg.Arrivals and spawns
+// one request process per arrival. Each request carries a trace.Ctx with
+// its deadline and interaction class down the tier chain. Failures are
+// split by kind: rejections that implement `Shed() bool` (admission
+// control, deadline fail-fast) count as shed, everything else as failed.
+func StartOpen(env *des.Env, cfg OpenConfig, table *Table, target Target, collect Collector) (*Workload, error) {
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("rubbos: open workload without an arrival spec")
+	}
+	if cfg.Arrivals.MaxRate() <= 0 {
+		return nil, fmt.Errorf("rubbos: arrival spec %s has no positive rate", cfg.Arrivals)
+	}
+	if cfg.Matrix == nil {
+		return nil, fmt.Errorf("rubbos: nil navigation matrix")
+	}
+	if err := cfg.Matrix.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClientNodes <= 0 {
+		cfg.ClientNodes = 2
+	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("rubbos: negative deadline")
+	}
+	// The equivalent closed-loop population drives Workload.UsersPerNode
+	// (and through it the Apache FIN model).
+	equiv := int(cfg.Arrivals.MaxRate()*openThinkEquiv.Seconds() + 0.5)
+	w := &Workload{
+		cfg:   ClientConfig{Users: equiv, ClientNodes: cfg.ClientNodes, Seed: cfg.Seed},
+		table: table,
+	}
+	src := cfg.Arrivals.NewSource(rng.NewStream(cfg.Seed, "arrivals"))
+	nav := rng.NewStream(cfg.Seed, "nav")
+	env.Go("arrivals", func(p *des.Proc) {
+		state := StoriesOfTheDay
+		var n uint64
+		for {
+			p.Sleep(src.Next())
+			n++
+			it := &w.table.Items[state]
+			state = cfg.Matrix.Next(nav, state)
+			issued := p.Now()
+			w.issued++
+			ctx := &trace.Ctx{Write: it.Write}
+			if cfg.Deadline > 0 {
+				ctx.Deadline = issued + cfg.Deadline
+			}
+			if cfg.Tracer != nil {
+				ctx.Trace = cfg.Tracer.Sample(it.Name, issued)
+			}
+			env.Go(fmt.Sprintf("req-%d", n), func(rp *des.Proc) {
+				rp.SetData(ctx)
+				err := target.Do(rp, it)
+				if ctx.Trace != nil {
+					cfg.Tracer.Finish(ctx.Trace, rp.Now())
+				}
+				rt := rp.Now() - issued
+				switch {
+				case err == nil:
+					w.completed++
+					if ctx.Deadline > 0 && rp.Now() > ctx.Deadline {
+						w.late++
+					}
+				case isShed(err):
+					w.shed++
+				default:
+					w.failed++
+				}
+				if collect != nil {
+					collect(it, issued, rt, err)
+				}
+			})
+		}
+	})
+	return w, nil
+}
+
+// OpenEquivUsers converts a served-request rate into the equivalent
+// closed-loop user population via Little's law with the paper's 7 s think
+// time — the population whose client-side socket load a rate-λ stream
+// produces.
+func OpenEquivUsers(rate float64) float64 { return rate * openThinkEquiv.Seconds() }
+
+// isShed classifies an error structurally, so this package never needs to
+// import the tier package (which imports this one).
+func isShed(err error) bool {
+	s, ok := err.(interface{ Shed() bool })
+	return ok && s.Shed()
+}

@@ -29,6 +29,8 @@ type Collector struct {
 	thresholds []time.Duration
 	good       []uint64
 	total      uint64
+	shed       uint64
+	late       uint64
 	elapsed    time.Duration
 
 	rts  metrics.Sample
@@ -56,6 +58,21 @@ func (c *Collector) Observe(rt time.Duration) {
 	c.rts.Add(rt.Seconds())
 	c.hist.Add(rt.Seconds())
 }
+
+// ObserveShed records one request rejected by load shedding (admission
+// control or deadline fail-fast). Shed requests are not throughput: they
+// never produced a page.
+func (c *Collector) ObserveShed() { c.shed++ }
+
+// ObserveLate records one completed response that blew its end-to-end
+// deadline (the response still counts in Observe; Late is an overlay).
+func (c *Collector) ObserveLate() { c.late++ }
+
+// Shed returns the number of shed requests observed.
+func (c *Collector) Shed() uint64 { return c.shed }
+
+// Late returns the number of deadline-violating completions observed.
+func (c *Collector) Late() uint64 { return c.late }
 
 // SetElapsed records the measurement-window length used for rate
 // computations.
@@ -119,6 +136,8 @@ type collectorJSON struct {
 	Thresholds []time.Duration    `json:"thresholds"`
 	Good       []uint64           `json:"good"`
 	Total      uint64             `json:"total"`
+	Shed       uint64             `json:"shed,omitempty"`
+	Late       uint64             `json:"late,omitempty"`
 	Elapsed    time.Duration      `json:"elapsed"`
 	RTs        *metrics.Sample    `json:"rts"`
 	Hist       *metrics.Histogram `json:"hist,omitempty"`
@@ -130,6 +149,8 @@ func (c *Collector) MarshalJSON() ([]byte, error) {
 		Thresholds: c.thresholds,
 		Good:       c.good,
 		Total:      c.total,
+		Shed:       c.shed,
+		Late:       c.late,
 		Elapsed:    c.elapsed,
 		RTs:        &c.rts,
 		Hist:       c.hist,
@@ -148,6 +169,8 @@ func (c *Collector) UnmarshalJSON(data []byte) error {
 	c.thresholds = v.Thresholds
 	c.good = v.Good
 	c.total = v.Total
+	c.shed = v.Shed
+	c.late = v.Late
 	c.elapsed = v.Elapsed
 	if v.RTs != nil {
 		c.rts = *v.RTs

@@ -225,6 +225,58 @@ func (tb *Testbed) StartWorkload(cfg rubbos.ClientConfig, collect rubbos.Collect
 	return w, nil
 }
 
+// finLoadInterval is the sampling period of the open-workload FIN-load
+// follower, and finLoadAlpha its EWMA weight.
+const (
+	finLoadInterval = time.Second
+	finLoadAlpha    = 0.3
+)
+
+// StartOpenWorkload launches an open-system arrival-driven workload against
+// the testbed and keeps the FIN model's equivalent per-client-node load in
+// step with it (see rubbos.StartOpen).
+//
+// Unlike the closed-loop case, where the emulated-user population is a
+// constant of the run, the open stream's served population varies with the
+// admission decisions upstream: shed requests answer with a short degraded
+// response and close immediately, so only served pages occupy client-side
+// sockets through the lingering close. The follower process below therefore
+// tracks the *completion* rate (EWMA over one-second windows) and re-derives
+// the equivalent user population via Little's law each tick — at overload
+// the FIN tail is tied to admitted, not offered, load, so load shedding
+// genuinely frees Apache workers instead of leaving them parked for a
+// notional client population that was never served.
+func (tb *Testbed) StartOpenWorkload(cfg rubbos.OpenConfig, collect rubbos.Collector) (*rubbos.Workload, error) {
+	w, err := rubbos.StartOpen(tb.Env, cfg, tb.Table, tb, collect)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range tb.Apaches {
+		a.SetFinLoad(w.UsersPerNode())
+	}
+	nodes := float64(w.ClientNodes())
+	var prev uint64
+	var ewma float64
+	tb.Env.Go("fin-load", func(p *des.Proc) {
+		for {
+			p.Sleep(finLoadInterval)
+			done := w.Completed()
+			rate := float64(done-prev) / finLoadInterval.Seconds()
+			prev = done
+			if ewma == 0 {
+				ewma = rate
+			} else {
+				ewma += finLoadAlpha * (rate - ewma)
+			}
+			users := rubbos.OpenEquivUsers(ewma) / nodes
+			for _, a := range tb.Apaches {
+				a.SetFinLoad(users)
+			}
+		}
+	})
+	return w, nil
+}
+
 // Nodes returns every hardware node in tier order.
 func (tb *Testbed) Nodes() []*hw.Node {
 	var out []*hw.Node

@@ -51,7 +51,14 @@ type Apache struct {
 	rr      int
 
 	res  resilience
+	adm  *admission // adaptive admission control (nil unless configured)
 	down bool
+
+	// est tracks recent time-to-response-delivered (excluding the lingering
+	// close) for the deadline admission check; dlSheds counts requests shed
+	// because their budget could not cover it.
+	est     estimator
+	dlSheds uint64
 
 	// finLoad is the emulated-user count per client node, driving the FIN
 	// tail (set by the topology builder).
@@ -97,6 +104,12 @@ func (a *Apache) Config() ApacheConfig { return a.cfg }
 // original fault-free path.
 func (a *Apache) SetResilience(cfg *ResilienceConfig, r *rng.Rand) {
 	a.res = newResilienceN(a.env, cfg, r, len(a.tomcats))
+	if cfg != nil && cfg.Admission.Enabled {
+		// A dedicated stream for drop draws, so enabling admission never
+		// shifts the backoff-jitter sequence of the same configuration.
+		a.adm = newAdmission(a.env, cfg.Admission,
+			rng.NewStream(r.Uint64(), "admission"), a.Workers.Queued)
+	}
 }
 
 // SetDown marks the server crashed (refusing all work) or restored.
@@ -107,6 +120,30 @@ func (a *Apache) Down() bool { return a.down }
 
 // Resilience returns the resilience counters (nil when the layer is off).
 func (a *Apache) Resilience() *ResilienceStats { return a.res.Stats() }
+
+// DeadlineSheds returns the cumulative count of requests shed because their
+// deadline budget could not cover this server's residence estimate.
+func (a *Apache) DeadlineSheds() uint64 { return a.dlSheds }
+
+// Sheds returns the cumulative count of requests this server refused at the
+// front door (static queue-depth sheds, adaptive admission drops, and
+// deadline fail-fasts). Pure read — safe for observability probes.
+func (a *Apache) Sheds() uint64 {
+	n := a.dlSheds
+	if a.res.enabled() {
+		n += a.res.stats.Shed
+	}
+	return n
+}
+
+// AdmissionLevel returns the adaptive controller's current drop probability
+// for browse traffic (0 without a controller). Pure read.
+func (a *Apache) AdmissionLevel() float64 {
+	if a.adm == nil {
+		return 0
+	}
+	return a.adm.Level()
+}
 
 // Breakers returns the per-Tomcat circuit breakers (nil if not enabled).
 func (a *Apache) Breakers() []*Breaker { return a.res.breakers }
@@ -144,10 +181,28 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) error {
 		a.link.Traverse(p)
 		return &Error{Kind: FailDown, Server: a.Node.Name()}
 	}
+	entry := p.Now()
+	if overDeadline(p, &a.est) {
+		// Deadline propagation: the remaining budget cannot cover this
+		// server's recent time-to-response, so fail fast before queueing.
+		a.dlSheds++
+		a.degraded(p)
+		a.link.Traverse(p)
+		return &Error{Kind: FailDeadline, Server: a.Node.Name()}
+	}
 	if a.res.enabled() && a.res.cfg.MaxQueue > 0 && a.Workers.Queued() >= a.res.cfg.MaxQueue {
 		// Admission control: reject before tying up a worker; the
 		// degraded response costs a sliver of CPU (error page).
 		a.res.stats.Shed++
+		a.degraded(p)
+		a.link.Traverse(p)
+		return &Error{Kind: FailShed, Server: a.Node.Name()}
+	}
+	if a.adm != nil && a.adm.drop(it.Write) {
+		// Adaptive admission control: the standing worker wait is over
+		// target, shed at the front door (browse before writes).
+		a.res.stats.Shed++
+		a.res.stats.AdmissionSheds++
 		a.degraded(p)
 		a.link.Traverse(p)
 		return &Error{Kind: FailShed, Server: a.Node.Name()}
@@ -161,6 +216,9 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) error {
 		return &Error{Kind: FailTimeout, Server: a.Node.Name()}
 	}
 	addSpan(p, a.Node.Name(), "worker-wait", t0)
+	if a.adm != nil {
+		a.adm.observeWait(p.Now() - t0)
+	}
 	// Residence is measured while holding a worker (see Tomcat.Serve).
 	busyStart := p.Now()
 
@@ -199,6 +257,11 @@ func (a *Apache) Do(p *des.Proc, it *rubbos.Interaction) error {
 		a.clientLink.Transfer(p, it.ResponseKB)
 		addSpan(p, a.Node.Name(), "client-send", t0)
 	}
+
+	// The client has the full response at this point; the lingering close
+	// below holds the worker but adds nothing to the user-visible latency,
+	// so the deadline estimator observes time-to-response-delivered here.
+	a.est.observe(p.Now() - entry)
 
 	// Lingering close: the worker stays busy until the client FIN arrives.
 	a.Fin.SetLoad(a.finLoad)
@@ -256,14 +319,26 @@ func (a *Apache) proxy(p *des.Proc, it *rubbos.Interaction) error {
 			e = &Error{Kind: FailTimeout, Server: tc.Node.Name()}
 		}
 		if br != nil {
-			br.Record(e == nil)
+			// A downstream deadline shed is the request running out of
+			// budget, not the peer failing — it must not trip the breaker.
+			br.Record(e == nil || isDeadline(e))
 		}
 		if e == nil {
 			return nil
 		}
+		if isDeadline(e) {
+			// Out of budget: retrying cannot possibly finish in time.
+			return e
+		}
 		err = e
 	}
 	return err
+}
+
+// isDeadline reports whether err is a deadline fail-fast.
+func isDeadline(err error) bool {
+	k, ok := ErrKind(err)
+	return ok && k == FailDeadline
 }
 
 // degraded emits the error/degraded response without holding a worker.

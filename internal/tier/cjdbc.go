@@ -83,6 +83,11 @@ type CJDBC struct {
 	// the mean effective concurrency (the retry-amplification metric).
 	busyIntegral float64
 	lastBusy     time.Duration
+
+	// est tracks recent query residence for the deadline admission check;
+	// dlSheds counts deadline fail-fasts at checkout.
+	est     estimator
+	dlSheds uint64
 }
 
 // NewCJDBC creates the middleware on node, balancing over backends.
@@ -142,6 +147,13 @@ func (c *CJDBC) Checkout(p *des.Proc) error {
 		c.link.Traverse(p)
 		return &Error{Kind: FailDown, Server: c.Node.Name()}
 	}
+	if overDeadline(p, &c.est) {
+		// Deadline propagation: refuse the checkout instead of occupying a
+		// handler thread for a request that cannot finish in budget.
+		c.dlSheds++
+		c.link.Traverse(p)
+		return &Error{Kind: FailDeadline, Server: c.Node.Name()}
+	}
 	c.accountBusy()
 	c.busy++
 	t0 := p.Now()
@@ -193,9 +205,14 @@ func (c *CJDBC) Query(p *des.Proc, it *rubbos.Interaction) error {
 	err := be.Query(p, it)
 
 	c.log.Observe(p.Now(), p.Now()-start)
+	c.est.observe(p.Now() - start)
 	c.link.Traverse(p)
 	return err
 }
+
+// DeadlineSheds returns the cumulative count of checkouts refused because
+// the request's deadline budget could not cover the residence estimate.
+func (c *CJDBC) DeadlineSheds() uint64 { return c.dlSheds }
 
 // Log returns the residence-time log.
 func (c *CJDBC) Log() *ServiceLog { return &c.log }

@@ -21,6 +21,11 @@ type MySQL struct {
 
 	inflight int
 	down     bool
+
+	// est tracks recent query residence for the deadline admission check;
+	// dlSheds counts deadline fail-fasts.
+	est     estimator
+	dlSheds uint64
 }
 
 // NewMySQL creates a database server on node.
@@ -42,6 +47,13 @@ func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) error {
 		m.link.Traverse(p)
 		return &Error{Kind: FailDown, Server: m.Node.Name()}
 	}
+	if overDeadline(p, &m.est) {
+		// Deadline propagation: don't burn database CPU on a statement
+		// whose requester has already run out of budget.
+		m.dlSheds++
+		m.link.Traverse(p)
+		return &Error{Kind: FailDeadline, Server: m.Node.Name()}
+	}
 	start := p.Now()
 	m.inflight++
 	m.Node.CPU().Use(p, sampleMS(m.r, it.MySQLMS, it.CV))
@@ -57,9 +69,14 @@ func (m *MySQL) Query(p *des.Proc, it *rubbos.Interaction) error {
 	m.inflight--
 	addSpan(p, m.Node.Name(), "exec", start)
 	m.log.Observe(p.Now(), p.Now()-start)
+	m.est.observe(p.Now() - start)
 	m.link.Traverse(p)
 	return nil
 }
+
+// DeadlineSheds returns the cumulative count of statements refused because
+// the request's deadline budget could not cover the residence estimate.
+func (m *MySQL) DeadlineSheds() uint64 { return m.dlSheds }
 
 // Inflight returns the number of queries currently executing.
 func (m *MySQL) Inflight() int { return m.inflight }

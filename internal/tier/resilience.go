@@ -29,6 +29,10 @@ const (
 	FailTimeout
 	// FailOpen: the hop's circuit breaker was open.
 	FailOpen
+	// FailDeadline: the request's remaining end-to-end budget could not
+	// cover the tier's recent service-time estimate, so it was shed before
+	// queueing (deadline propagation; counted as shed, not error).
+	FailDeadline
 )
 
 // String names the failure kind.
@@ -42,6 +46,8 @@ func (k FailKind) String() string {
 		return "timeout"
 	case FailOpen:
 		return "breaker-open"
+	case FailDeadline:
+		return "deadline"
 	}
 	return "unknown"
 }
@@ -56,6 +62,12 @@ type Error struct {
 func (e *Error) Error() string {
 	return fmt.Sprintf("tier: %s: %s", e.Server, e.Kind)
 }
+
+// Shed reports whether the failure is a load-shedding rejection — admission
+// control or deadline fail-fast — rather than a hard error. Callers that
+// cannot import this package (the workload generators) detect shedding
+// structurally via an interface{ Shed() bool } assertion.
+func (e *Error) Shed() bool { return e.Kind == FailShed || e.Kind == FailDeadline }
 
 // ErrKind extracts the failure kind of a request error (ok=false for nil or
 // foreign errors).
@@ -98,6 +110,10 @@ type ResilienceConfig struct {
 	// DegradedMS is the CPU cost of emitting the degraded/error response
 	// for a shed or failed request (served without holding a worker).
 	DegradedMS float64
+	// Admission parameterizes the adaptive (CoDel-style) admission
+	// controller at the web tier; the zero value disables it and keeps the
+	// static MaxQueue check as the only front-door shed.
+	Admission AdmissionConfig
 }
 
 // DefaultResilienceConfig returns a production-shaped configuration:
@@ -137,6 +153,7 @@ func (c *ResilienceConfig) backoff(r *rng.Rand, attempt int) time.Duration {
 // ResilienceStats counts the resilience layer's interventions on one server.
 type ResilienceStats struct {
 	Shed            uint64 // requests rejected by admission control
+	AdmissionSheds  uint64 // subset of Shed dropped by the adaptive controller
 	AcquireTimeouts uint64 // pool waits abandoned
 	CallTimeouts    uint64 // downstream calls past the deadline
 	Retries         uint64 // re-attempts issued downstream

@@ -81,9 +81,70 @@ func (l *ServiceLog) Jobs(now time.Duration) float64 {
 }
 
 // addSpan records a phase on the request's trace, if the carrying process
-// has one attached (see the trace package).
+// has one attached — either a bare *trace.Trace (closed-loop clients) or a
+// *trace.Ctx wrapping one (open-system requests).
 func addSpan(p *des.Proc, server, phase string, start time.Duration) {
-	if tr, ok := p.Data().(*trace.Trace); ok && tr != nil {
-		tr.Add(server, phase, start, p.Now())
+	switch d := p.Data().(type) {
+	case *trace.Trace:
+		if d != nil {
+			d.Add(server, phase, start, p.Now())
+		}
+	case *trace.Ctx:
+		if d != nil && d.Trace != nil {
+			d.Trace.Add(server, phase, start, p.Now())
+		}
 	}
+}
+
+// deadlineOf returns the carrying request's absolute deadline, or 0 when the
+// request has no deadline context attached.
+func deadlineOf(p *des.Proc) time.Duration {
+	if c, ok := p.Data().(*trace.Ctx); ok && c != nil {
+		return c.Deadline
+	}
+	return 0
+}
+
+// deadlinePassed reports whether the request's deadline (if any) is already
+// behind the simulation clock — used to abort retry loops mid-request.
+func deadlinePassed(p *des.Proc) bool {
+	dl := deadlineOf(p)
+	return dl != 0 && p.Now() > dl
+}
+
+// estAlpha is the smoothing weight of the residence-time estimator.
+const estAlpha = 0.1
+
+// estimator tracks an exponentially-weighted moving average of a server's
+// recent residence time. It feeds the deadline admission check: a request
+// whose remaining budget cannot cover the estimate is shed at the door
+// instead of burning a pool slot on work the client will never use. Updates
+// are pure arithmetic (no RNG, no events), so maintaining the estimate
+// never perturbs a deadline-free simulation.
+type estimator struct {
+	v float64 // EWMA residence in nanoseconds; 0 until the first observation
+}
+
+// observe folds one completed residence into the estimate.
+func (e *estimator) observe(d time.Duration) {
+	if e.v == 0 {
+		e.v = float64(d)
+		return
+	}
+	e.v += estAlpha * (float64(d) - e.v)
+}
+
+// get returns the current estimate (0 before any observation, so the first
+// requests are always admitted).
+func (e *estimator) get() time.Duration { return time.Duration(e.v) }
+
+// overDeadline reports whether the request's remaining budget cannot cover
+// the server's recent residence estimate. Requests without a deadline are
+// never over it.
+func overDeadline(p *des.Proc, est *estimator) bool {
+	dl := deadlineOf(p)
+	if dl == 0 {
+		return false
+	}
+	return p.Now()+est.get() > dl
 }

@@ -67,6 +67,11 @@ type Tomcat struct {
 
 	res  resilience
 	down bool
+
+	// est tracks recent servlet residence (thread wait included) for the
+	// deadline admission check; dlSheds counts deadline fail-fasts.
+	est     estimator
+	dlSheds uint64
 }
 
 // Backend executes SQL statements on behalf of an application server; in
@@ -124,6 +129,15 @@ func (t *Tomcat) Down() bool { return t.down }
 // Resilience returns the resilience counters (nil when the layer is off).
 func (t *Tomcat) Resilience() *ResilienceStats { return t.res.Stats() }
 
+// DeadlineSheds returns the cumulative count of requests shed because their
+// deadline budget could not cover this server's residence estimate.
+func (t *Tomcat) DeadlineSheds() uint64 { return t.dlSheds }
+
+// Sheds returns the cumulative count of requests this server refused before
+// queueing (deadline fail-fasts; Tomcat has no front-door admission
+// control). Pure read — safe for observability probes.
+func (t *Tomcat) Sheds() uint64 { return t.dlSheds }
+
 // Breaker returns the Tomcat→C-JDBC circuit breaker (nil if not enabled).
 func (t *Tomcat) Breaker() *Breaker { return t.res.breaker(0) }
 
@@ -136,6 +150,14 @@ func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) error {
 	if t.down {
 		t.link.Traverse(p)
 		return &Error{Kind: FailDown, Server: t.Node.Name()}
+	}
+	entry := p.Now()
+	if overDeadline(p, &t.est) {
+		// Deadline propagation: don't queue for a servlet thread the
+		// request has no budget to use.
+		t.dlSheds++
+		t.link.Traverse(p)
+		return &Error{Kind: FailDeadline, Server: t.Node.Name()}
 	}
 	t0 := p.Now()
 	if ok, _ := t.Threads.AcquireTimeout(p, t.res.acquireTimeout()); !ok {
@@ -182,6 +204,7 @@ func (t *Tomcat) Serve(p *des.Proc, it *rubbos.Interaction) error {
 
 	t.Threads.Release()
 	t.log.Observe(p.Now(), p.Now()-start)
+	t.est.observe(p.Now() - entry)
 	t.link.Traverse(p)
 	return nil
 }
@@ -196,6 +219,11 @@ func (t *Tomcat) query(p *des.Proc, it *rubbos.Interaction) error {
 	attempts := t.res.attempts()
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if deadlinePassed(p) {
+				// Out of budget mid-request: abort the retry loop instead
+				// of burning another connection checkout downstream.
+				return &Error{Kind: FailDeadline, Server: t.Node.Name()}
+			}
 			t.res.stats.Retries++
 			if d := t.res.cfg.backoff(t.res.r, i-1); d > 0 {
 				t0 := p.Now()
@@ -230,10 +258,16 @@ func (t *Tomcat) query(p *des.Proc, it *rubbos.Interaction) error {
 			e = &Error{Kind: FailTimeout, Server: t.Node.Name()}
 		}
 		if br != nil {
-			br.Record(e == nil)
+			// A downstream deadline shed is budget exhaustion, not a peer
+			// failure — it must not trip the breaker.
+			br.Record(e == nil || isDeadline(e))
 		}
 		if e == nil {
 			return nil
+		}
+		if isDeadline(e) {
+			// Out of budget: retrying cannot possibly finish in time.
+			return e
 		}
 		err = e
 	}

@@ -163,6 +163,69 @@ func CurveTable(title string, th time.Duration, curves ...*Curve) *Table {
 	return experiment.CurveTable(title, th, curves...)
 }
 
+// CurveCountTable renders a per-trial counter (errors, shed, abandoned,
+// late) for several curves against the workload axis.
+func CurveCountTable(title string, count func(*Result) uint64, curves ...*Curve) *Table {
+	return experiment.CurveCountTable(title, count, curves...)
+}
+
+// Open-system arrivals and overload survival (see EXPERIMENTS.md). An
+// ArrivalSpec on RunConfig.Arrivals replaces the closed-loop user
+// population with an external arrival process, so offered load can exceed
+// capacity; RunConfig.Deadline arms end-to-end deadline propagation; the
+// AdmissionConfig inside a ResilienceConfig arms the adaptive web-tier
+// admission controller.
+type (
+	// ArrivalSpec describes an arrival process (Poisson, schedule, MMPP).
+	ArrivalSpec = trace.ArrivalSpec
+	// ArrivalSource draws one process's inter-arrival gaps.
+	ArrivalSource = trace.ArrivalSource
+	// ArrivalPhase is one segment of a piecewise arrival schedule.
+	ArrivalPhase = trace.Phase
+	// AdmissionConfig tunes the adaptive web-tier admission controller.
+	AdmissionConfig = tier.AdmissionConfig
+	// OverloadCurve is a goodput-vs-offered-rate series.
+	OverloadCurve = experiment.OverloadCurve
+	// FlashCrowdConfig describes one flash-crowd trial.
+	FlashCrowdConfig = experiment.FlashCrowdConfig
+	// FlashCrowdResult is a flash-crowd trial's timeline and drain stats.
+	FlashCrowdResult = experiment.FlashCrowdResult
+	// FlashPoint is one timeline bucket of a flash-crowd trial.
+	FlashPoint = experiment.FlashPoint
+)
+
+// Arrival-process constructors for RunConfig.Arrivals.
+var (
+	// PoissonArrivals is a constant-rate Poisson process.
+	PoissonArrivals = trace.Poisson
+	// ArrivalSchedule is a piecewise constant/ramp rate schedule.
+	ArrivalSchedule = trace.Schedule
+	// FlashCrowdArrivals is a base rate with a bounded spike.
+	FlashCrowdArrivals = trace.FlashCrowd
+	// MMPPArrivals is a cyclic Markov-modulated Poisson process.
+	MMPPArrivals = trace.MMPP
+)
+
+// DefaultAdmissionConfig returns the adaptive admission controller's
+// defaults (50ms worker-wait target, 500ms control interval, write
+// protection on).
+func DefaultAdmissionConfig() AdmissionConfig { return tier.DefaultAdmissionConfig() }
+
+// OverloadProtection returns the full overload-survival policy: default
+// resilience plus the adaptive admission controller.
+func OverloadProtection() *ResilienceConfig { return experiment.OverloadProtection() }
+
+// OverloadSweep runs base once per offered rate (Poisson arrivals) and
+// returns the goodput-vs-offered-load curve.
+func OverloadSweep(base RunConfig, rates []float64) (*OverloadCurve, error) {
+	return experiment.OverloadSweep(base, rates)
+}
+
+// RunFlashCrowd executes one flash-crowd trial.
+func RunFlashCrowd(cfg FlashCrowdConfig) (*FlashCrowdResult, error) {
+	return experiment.RunFlashCrowd(cfg)
+}
+
 // Workload mixes.
 var (
 	// BrowseOnlyMix is RUBBoS's read-only navigation graph.

@@ -1,0 +1,247 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// A fired event must report Canceled() == false forever — even after its
+// record has been recycled and reused by later events. This was the PR's
+// headline bug: the old implementation marked fired events with the same
+// flag as canceled ones, so observers of a completion handle concluded the
+// completion had been canceled.
+func TestFiredEventNeverReportsCanceled(t *testing.T) {
+	env := NewEnv()
+	fired := false
+	ev := env.After(time.Second, func() { fired = true })
+	if ev.Canceled() {
+		t.Fatal("pending event reports Canceled")
+	}
+	if !ev.Pending() {
+		t.Fatal("scheduled event not Pending")
+	}
+	env.Run(2 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if ev.Canceled() {
+		t.Error("fired event reports Canceled")
+	}
+	if ev.Pending() {
+		t.Error("fired event reports Pending")
+	}
+	// Recycle the record through many later events; the stale handle must
+	// still distinguish "fired" from "canceled".
+	for i := 0; i < 100; i++ {
+		env.After(time.Millisecond, func() {})
+	}
+	env.Run(3 * time.Second)
+	if ev.Canceled() {
+		t.Error("fired event reports Canceled after its record was reused")
+	}
+	// Cancel on the stale handle must not touch the record's new owner.
+	ev2 := env.After(time.Second, func() {})
+	ev.Cancel()
+	if ev2.Canceled() || !ev2.Pending() {
+		t.Error("Cancel through a stale handle hit a recycled record's new owner")
+	}
+}
+
+func TestCanceledEventReportsCanceledForever(t *testing.T) {
+	env := NewEnv()
+	ev := env.After(time.Second, func() { t.Error("canceled event fired") })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("canceled event does not report Canceled")
+	}
+	if ev.Pending() {
+		t.Fatal("canceled event reports Pending")
+	}
+	// Churn the free list: the canceled record must not be handed out again
+	// while this handle exists.
+	for i := 0; i < 1000; i++ {
+		env.After(time.Millisecond, func() {})
+	}
+	env.Run(2 * time.Second)
+	if !ev.Canceled() {
+		t.Error("Canceled() flipped to false after churn")
+	}
+}
+
+func TestZeroEventBehavesCanceled(t *testing.T) {
+	var ev Event
+	if !ev.Canceled() {
+		t.Error("zero Event not Canceled")
+	}
+	if ev.Pending() {
+		t.Error("zero Event Pending")
+	}
+	ev.Cancel() // must not panic
+}
+
+// Pending counts callbacks that will still run: canceled events drop out
+// immediately, even while their queue entries await lazy removal.
+func TestPendingExcludesCanceled(t *testing.T) {
+	env := NewEnv()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = env.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if got := env.Pending(); got != 10 {
+		t.Fatalf("Pending() = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if got := env.Pending(); got != 6 {
+		t.Errorf("Pending() = %d after 4 cancels, want 6", got)
+	}
+	env.Run(20 * time.Second)
+	if got := env.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", got)
+	}
+}
+
+// Cancel/re-arm churn must not grow the physical queue without bound: dead
+// entries are dropped by compaction once they outnumber live ones, keeping
+// the queue within a constant factor of the live event count.
+func TestCancelChurnBoundsQueue(t *testing.T) {
+	env := NewEnv()
+	const live = 100
+	var ev Event
+	for i := 0; i < 200000; i++ {
+		ev.Cancel()
+		ev = env.After(time.Hour, func() {})
+	}
+	// Keep a floor of live events so compaction has survivors to keep.
+	for i := 0; i < live; i++ {
+		env.After(time.Hour, func() {})
+	}
+	if q := env.queueLen(); q > 2*(live+1)+compactMin {
+		t.Errorf("queueLen() = %d after churn, want <= %d (2x live + compactMin)",
+			q, 2*(live+1)+compactMin)
+	}
+	if p := env.Pending(); p != live+1 {
+		t.Errorf("Pending() = %d, want %d", p, live+1)
+	}
+}
+
+// A Timer re-arms without leaking queue entries or allocating, and Stop
+// prevents the pending firing.
+func TestTimerRearmAndStop(t *testing.T) {
+	env := NewEnv()
+	fires := 0
+	tm := env.NewTimer(func() { fires++ })
+	if tm.Armed() {
+		t.Fatal("new timer Armed")
+	}
+	// Re-arm 100k times: only the last schedule survives.
+	for i := 0; i < 100000; i++ {
+		tm.Arm(time.Duration(i%1000+1) * time.Millisecond)
+	}
+	if !tm.Armed() {
+		t.Fatal("armed timer not Armed")
+	}
+	if q := env.queueLen(); q > compactMin+2 {
+		t.Errorf("queueLen() = %d after re-arm churn, want <= %d", q, compactMin+2)
+	}
+	env.Run(2 * time.Second)
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1 (only the last arm)", fires)
+	}
+	if tm.Armed() {
+		t.Error("fired timer still Armed")
+	}
+
+	tm.Arm(time.Second)
+	tm.Stop()
+	if tm.Armed() {
+		t.Error("stopped timer Armed")
+	}
+	env.Run(10 * time.Second)
+	if fires != 1 {
+		t.Errorf("stopped timer fired (total %d)", fires)
+	}
+
+	// Re-arming from inside the callback keeps the timer alive.
+	count := 0
+	var periodic *Timer
+	periodic = env.NewTimer(func() {
+		count++
+		if count < 5 {
+			periodic.Arm(time.Second)
+		}
+	})
+	periodic.Arm(time.Second)
+	env.Run(100 * time.Second)
+	if count != 5 {
+		t.Errorf("periodic timer fired %d times, want 5", count)
+	}
+}
+
+// Stop from within the timer's own callback must be a no-op (the firing
+// already resolved), not a double-recycle of the record.
+func TestTimerStopInsideCallback(t *testing.T) {
+	env := NewEnv()
+	var tm *Timer
+	tm = env.NewTimer(func() { tm.Stop() })
+	tm.Arm(time.Second)
+	env.Run(2 * time.Second)
+	if tm.Armed() {
+		t.Error("timer Armed after self-stop")
+	}
+	// The queue must still drain cleanly.
+	env.After(time.Second, func() {})
+	if n := env.Run(5 * time.Second); n != 1 {
+		t.Errorf("Run processed %d events, want 1", n)
+	}
+}
+
+// Scheduling from inside a callback may reuse the fired event's record at
+// the same timestamp; ordering must still be schedule order.
+func TestRecycledRecordPreservesTieOrder(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	env.At(time.Second, func() {
+		order = append(order, 1)
+		env.At(time.Second, func() { order = append(order, 3) })
+	})
+	env.At(time.Second, func() { order = append(order, 2) })
+	env.Run(2 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// BenchmarkCancelChurn measures the cancel-and-reschedule pattern that
+// dominates PS-CPU completion management: the heap must stay small (lazy
+// deletion + compaction) and the steady state must not allocate (free-list
+// recycling is exercised by the fired noop events; publicly canceled records
+// are intentionally unrecycled, so churn through Event.Cancel measures the
+// compaction path).
+func BenchmarkCancelChurn(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	noop := func() {}
+	var ev Event
+	for i := 0; i < b.N; i++ {
+		ev.Cancel()
+		ev = env.After(time.Hour, noop)
+		env.After(0, noop)
+		env.Run(env.Now())
+	}
+}
+
+// BenchmarkTimerRearm is the same churn through the handle-free Timer path,
+// which recycles canceled records immediately.
+func BenchmarkTimerRearm(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	noop := func() {}
+	tm := env.NewTimer(noop)
+	for i := 0; i < b.N; i++ {
+		tm.Arm(time.Hour)
+		env.After(0, noop)
+		env.Run(env.Now())
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/testbed"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from the current engine")
+
+// TestSweepMatchesGoldenCSV replays a seeded workload sweep and compares the
+// figure CSV byte-for-byte against a committed golden file — the regression
+// net under engine rework: heap layout, event pooling, compaction, and
+// arrival batching may change how the simulator computes, but never what.
+// In-process replay tests (parallel vs serial, resume) catch divergence
+// within one build; this one catches divergence introduced *by* a change.
+//
+// Regenerate deliberately after an intentional behavior change with
+//
+//	go test ./internal/experiment -run SweepMatchesGolden -update-golden
+//
+// and inspect the diff: every changed cell is a changed trial outcome.
+func TestSweepMatchesGoldenCSV(t *testing.T) {
+	cfg := RunConfig{
+		Testbed: testbed.Options{
+			Hardware: testbed.Hardware{Web: 1, App: 1, Mid: 1, DB: 1},
+			Soft:     testbed.SoftAlloc{WebThreads: 50, AppThreads: 6, AppConns: 3},
+			Seed:     5,
+		},
+		RampUp:      2 * time.Second,
+		Measure:     5 * time.Second,
+		Parallelism: 1,
+	}
+	c, err := WorkloadSweep(cfg, []int{100, 300, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := c.WriteCSV(&got, []time.Duration{time.Second}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden_sweep.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("sweep CSV diverged from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got.String(), want)
+	}
+}

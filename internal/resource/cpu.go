@@ -24,8 +24,11 @@ type CPU struct {
 	vnow       float64 // per-job attained service, in seconds of work
 	lastUpdate time.Duration
 	jobs       jobHeap
-	completion des.Event
-	haveEvent  bool
+	// completion is the single re-armed event for the earliest-finishing
+	// job. A des.Timer recycles the canceled record on every re-arm, so
+	// the cancel-on-nearly-every-state-change pattern allocates nothing
+	// and cannot grow the event queue.
+	completion *des.Timer
 
 	statsStart   time.Duration
 	busyIntegral float64       // core-seconds of useful work delivered
@@ -34,11 +37,20 @@ type CPU struct {
 	workDone     float64 // seconds of service completed
 }
 
+// cpuJob is one running job, stored by value in the finish-ordered heap:
+// admitting and completing jobs allocates nothing.
 type cpuJob struct {
 	finishV float64
 	proc    *des.Proc
-	index   int
 }
+
+// vRebase is the attained-service level (in seconds of work) at which the
+// virtual clock is rebased to zero. Over a million-job run vnow otherwise
+// grows without bound and float64 ulps at large magnitudes erode the
+// precision of remaining-work differences; rebasing keeps vnow small while
+// preserving job order exactly (subtracting one constant from every finish
+// tag is monotone). The CPU also rebases for free whenever it goes idle.
+const vRebase = 1 << 20
 
 // NewCPU creates a processor with the given core count, running at full
 // speed. Cores must be positive.
@@ -46,7 +58,9 @@ func NewCPU(env *des.Env, name string, cores int) *CPU {
 	if cores <= 0 {
 		panic(fmt.Sprintf("resource: cpu %q with %d cores", name, cores))
 	}
-	return &CPU{env: env, name: name, cores: cores, speed: 1}
+	c := &CPU{env: env, name: name, cores: cores, speed: 1}
+	c.completion = env.NewTimer(c.complete)
+	return c
 }
 
 // Name returns the CPU's diagnostic name.
@@ -118,37 +132,61 @@ func (c *CPU) pending() (busy float64, stall time.Duration) {
 
 const vEps = 1e-12
 
+// rebase subtracts the current virtual time from every job's finish tag and
+// resets vnow to zero — called when the CPU goes idle (free: no jobs to
+// touch) or when vnow crosses vRebase on a long run. Job order and the
+// remaining work remain/r of every job are preserved; only the common
+// offset changes.
+func (c *CPU) rebase() {
+	if len(c.jobs) == 0 {
+		c.vnow = 0
+		return
+	}
+	for i := range c.jobs {
+		c.jobs[i].finishV -= c.vnow
+	}
+	c.vnow = 0
+}
+
 // reschedule (re)arms the completion event for the earliest-finishing job.
 func (c *CPU) reschedule() {
-	if c.haveEvent {
-		c.completion.Cancel()
-		c.haveEvent = false
-	}
 	if len(c.jobs) == 0 {
+		c.completion.Stop()
 		return
 	}
 	r := c.rate()
 	if r == 0 {
+		c.completion.Stop()
 		return // frozen; SetSpeed will re-arm
 	}
 	remain := c.jobs[0].finishV - c.vnow
 	if remain < 0 {
 		remain = 0
 	}
-	// Ceil to a whole nanosecond so the event never fires early.
-	dt := time.Duration(math.Ceil(remain / r * 1e9))
-	c.completion = c.env.After(dt, c.complete)
-	c.haveEvent = true
+	// Ceil to a whole nanosecond so the event never fires early; clamp so
+	// a pathological remain/r (a brownout to a near-zero speed with work
+	// outstanding) saturates at the end of representable time instead of
+	// overflowing time.Duration and panicking the scheduler with a
+	// negative delay. The comparison is float-safe: 1<<62 ns (~146 years)
+	// is exactly representable and far below the int64 horizon.
+	ns := math.Ceil(remain / r * 1e9)
+	if ns < float64(int64(1)<<62) {
+		c.completion.Arm(time.Duration(ns))
+	} else { // includes +Inf from denormal rates
+		c.completion.ArmAt(time.Duration(math.MaxInt64))
+	}
 }
 
 // complete finishes every job whose service requirement is met.
 func (c *CPU) complete() {
-	c.haveEvent = false
 	c.update()
 	for len(c.jobs) > 0 && c.jobs[0].finishV <= c.vnow+vEps {
 		job := c.jobs.pop()
 		c.jobsDone++
 		job.proc.Unpark()
+	}
+	if len(c.jobs) == 0 || c.vnow > vRebase {
+		c.rebase()
 	}
 	c.reschedule()
 }
@@ -160,9 +198,11 @@ func (c *CPU) Use(p *des.Proc, work time.Duration) {
 		return
 	}
 	c.update()
+	if len(c.jobs) == 0 {
+		c.vnow = 0 // idle: rebase for free before admitting
+	}
 	w := work.Seconds()
-	job := &cpuJob{finishV: c.vnow + w, proc: p}
-	c.jobs.push(job)
+	c.jobs.push(cpuJob{finishV: c.vnow + w, proc: p})
 	c.workDone += w // counted on admission; conserved because jobs always finish
 	c.reschedule()
 	p.Park()
@@ -220,56 +260,56 @@ func (c *CPU) BusyIntegral() float64 {
 	return c.busyIntegral + busy
 }
 
-// jobHeap is a binary min-heap of jobs ordered by finish virtual time.
-type jobHeap []*cpuJob
+// jobHeap is a binary min-heap of jobs by value, ordered by finish virtual
+// time.
+type jobHeap []cpuJob
 
-func (h *jobHeap) push(j *cpuJob) {
+func (h *jobHeap) push(j cpuJob) {
 	*h = append(*h, j)
-	i := len(*h) - 1
-	j.index = i
+	hh := *h
+	i := len(hh) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if (*h)[i].finishV >= (*h)[parent].finishV {
+		if j.finishV >= hh[parent].finishV {
 			break
 		}
-		h.swap(i, parent)
+		hh[i] = hh[parent]
 		i = parent
 	}
+	hh[i] = j
 }
 
-func (h *jobHeap) pop() *cpuJob {
+func (h *jobHeap) pop() cpuJob {
 	old := *h
 	top := old[0]
 	last := len(old) - 1
-	old[0] = old[last]
-	old[0].index = 0
-	old[last] = nil
+	j := old[last]
+	old[last] = cpuJob{}
 	*h = old[:last]
-	h.siftDown(0)
+	if last > 0 {
+		old[0] = j
+		(*h).siftDown(0)
+	}
 	return top
-}
-
-func (h jobHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
 }
 
 func (h jobHeap) siftDown(i int) {
 	n := len(h)
+	j := h[i]
 	for {
 		left := 2*i + 1
 		if left >= n {
-			return
+			break
 		}
 		smallest := left
 		if right := left + 1; right < n && h[right].finishV < h[left].finishV {
 			smallest = right
 		}
-		if h[smallest].finishV >= h[i].finishV {
-			return
+		if h[smallest].finishV >= j.finishV {
+			break
 		}
-		h.swap(i, smallest)
+		h[i] = h[smallest]
 		i = smallest
 	}
+	h[i] = j
 }

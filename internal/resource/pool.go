@@ -13,12 +13,14 @@ import (
 )
 
 // waiter is one process queued for a unit. Grant state is decided by the
-// releaser (or the timeout event) before the process resumes.
+// releaser (or the timeout event) before the process resumes. Waiter
+// records are recycled through the pool's free list — at 10⁵-client scale
+// every acquisition would otherwise allocate — and each record owns a
+// des.Timer whose callback is built once and survives reuse.
 type waiter struct {
 	proc    *des.Proc
 	granted bool
-	timer   des.Event
-	timed   bool
+	timer   *des.Timer
 }
 
 // Pool is a counted resource with FIFO blocking acquisition, modeling a
@@ -40,8 +42,13 @@ type Pool struct {
 	name     string
 	capacity int
 
-	inUse   int
+	inUse int
+	// The wait queue is a sliding window over waiters: the live FIFO is
+	// waiters[wHead:]. Grants pop the head in O(1) amortized — a 10⁵-deep
+	// overload queue must not pay a copy of the whole queue per grant.
 	waiters []*waiter
+	wHead   int
+	freeW   []*waiter
 
 	// leaked units are counted in inUse but held by no process (a leak
 	// fault); leakPending leaks wait for the next release to swallow.
@@ -52,8 +59,8 @@ type Pool struct {
 	statsStart   time.Duration
 	busyIntegral float64         // unit-seconds of occupancy
 	occTime      []time.Duration // time spent at each occupancy level
-	satTime      time.Duration   // time with inUse == capacity and waiters queued
-	fullTime     time.Duration   // time with inUse == capacity
+	satTime      time.Duration   // time with inUse >= capacity and waiters queued
+	fullTime     time.Duration   // time with inUse >= capacity (> after a shrink)
 
 	grants    uint64
 	waited    uint64
@@ -86,10 +93,12 @@ func (pl *Pool) Name() string { return pl.name }
 func (pl *Pool) Capacity() int { return pl.capacity }
 
 // InUse returns the number of units currently held (including leaked units).
+// It can exceed Capacity while the pool drains toward a smaller capacity
+// after Resize.
 func (pl *Pool) InUse() int { return pl.inUse }
 
 // Queued returns the number of processes waiting for a unit.
-func (pl *Pool) Queued() int { return len(pl.waiters) }
+func (pl *Pool) Queued() int { return len(pl.waiters) - pl.wHead }
 
 // Leaked returns the number of units currently bled out by leak faults.
 func (pl *Pool) Leaked() int { return pl.leaked }
@@ -106,7 +115,7 @@ func (pl *Pool) account() {
 		pl.occTime[pl.inUse] += dt
 		if pl.inUse >= pl.capacity { // >= covers over-full states after a shrink
 			pl.fullTime += dt
-			if len(pl.waiters) > 0 {
+			if pl.Queued() > 0 {
 				pl.satTime += dt
 			}
 		}
@@ -114,10 +123,35 @@ func (pl *Pool) account() {
 	pl.lastChange = now
 }
 
+// getWaiter takes a waiter record off the free list (or allocates one) and
+// initializes it for p.
+func (pl *Pool) getWaiter(p *des.Proc) *waiter {
+	var w *waiter
+	if n := len(pl.freeW); n > 0 {
+		w = pl.freeW[n-1]
+		pl.freeW[n-1] = nil
+		pl.freeW = pl.freeW[:n-1]
+	} else {
+		w = &waiter{}
+		w.timer = pl.env.NewTimer(func() { pl.expire(w) })
+	}
+	w.proc = p
+	w.granted = false
+	return w
+}
+
+// putWaiter recycles a waiter record once its acquisition resolved and the
+// owning process has read the grant decision. The timer is always stopped
+// by then (grants stop it; a fired timeout disarms itself).
+func (pl *Pool) putWaiter(w *waiter) {
+	w.proc = nil
+	pl.freeW = append(pl.freeW, w)
+}
+
 // removeWaiter deletes w from the queue by identity, preserving order.
 func (pl *Pool) removeWaiter(w *waiter) bool {
-	for i, q := range pl.waiters {
-		if q == w {
+	for i := pl.wHead; i < len(pl.waiters); i++ {
+		if pl.waiters[i] == w {
 			copy(pl.waiters[i:], pl.waiters[i+1:])
 			pl.waiters = pl.waiters[:len(pl.waiters)-1]
 			return true
@@ -130,12 +164,18 @@ func (pl *Pool) removeWaiter(w *waiter) bool {
 // timeout (if any) canceled, and its process resumed. The caller has already
 // arranged the unit accounting.
 func (pl *Pool) popWaiter() *waiter {
-	w := pl.waiters[0]
-	copy(pl.waiters, pl.waiters[1:])
-	pl.waiters = pl.waiters[:len(pl.waiters)-1]
-	if w.timed {
-		w.timer.Cancel()
+	w := pl.waiters[pl.wHead]
+	pl.waiters[pl.wHead] = nil
+	pl.wHead++
+	if pl.wHead*2 >= len(pl.waiters) && pl.wHead >= 32 {
+		n := copy(pl.waiters, pl.waiters[pl.wHead:])
+		for i := n; i < len(pl.waiters); i++ {
+			pl.waiters[i] = nil
+		}
+		pl.waiters = pl.waiters[:n]
+		pl.wHead = 0
 	}
+	w.timer.Stop()
 	w.granted = true
 	w.proc.Unpark()
 	return w
@@ -144,21 +184,20 @@ func (pl *Pool) popWaiter() *waiter {
 // enqueue parks the caller at the tail, arming a timeout if d > 0.
 func (pl *Pool) enqueue(p *des.Proc, d time.Duration) *waiter {
 	pl.account()
-	w := &waiter{proc: p}
+	w := pl.getWaiter(p)
 	pl.waiters = append(pl.waiters, w)
-	if len(pl.waiters) > pl.maxQueue {
-		pl.maxQueue = len(pl.waiters)
+	if q := pl.Queued(); q > pl.maxQueue {
+		pl.maxQueue = q
 	}
 	if d > 0 {
-		w.timed = true
-		w.timer = pl.env.After(d, func() { pl.expire(w) })
+		w.timer.Arm(d)
 	}
 	return w
 }
 
 // expire handles a timeout firing: if the waiter is still queued it is
 // removed and resumed ungranted. A waiter granted at the same instant has
-// already been removed, making this a no-op.
+// already been removed (and its timer stopped), making this a no-op.
 func (pl *Pool) expire(w *waiter) {
 	if w.granted {
 		return
@@ -176,10 +215,11 @@ func (pl *Pool) Acquire(p *des.Proc) time.Duration {
 		return 0
 	}
 	start := pl.env.Now()
-	pl.enqueue(p, 0)
+	wt := pl.enqueue(p, 0)
 	p.Park()
 	// The releaser transferred ownership of a unit to us before Unpark;
 	// inUse has already been kept at its level on our behalf.
+	pl.putWaiter(wt)
 	w := pl.env.Now() - start
 	pl.waited++
 	pl.totalWait += w
@@ -200,8 +240,10 @@ func (pl *Pool) AcquireTimeout(p *des.Proc, timeout time.Duration) (bool, time.D
 	start := pl.env.Now()
 	wt := pl.enqueue(p, timeout)
 	p.Park()
+	granted := wt.granted
+	pl.putWaiter(wt)
 	w := pl.env.Now() - start
-	if !wt.granted {
+	if !granted {
 		pl.timeouts++
 		return false, w
 	}
@@ -214,7 +256,7 @@ func (pl *Pool) AcquireTimeout(p *des.Proc, timeout time.Duration) (bool, time.D
 // TryAcquire obtains a unit without blocking, returning false if none is
 // free or other processes are already queued (FIFO fairness).
 func (pl *Pool) TryAcquire() bool {
-	if pl.inUse >= pl.capacity || len(pl.waiters) > 0 {
+	if pl.inUse >= pl.capacity || pl.Queued() > 0 {
 		return false
 	}
 	pl.account()
@@ -237,7 +279,7 @@ func (pl *Pool) Release() {
 		pl.leaked++
 		return
 	}
-	if len(pl.waiters) > 0 && pl.inUse <= pl.capacity {
+	if pl.Queued() > 0 && pl.inUse <= pl.capacity {
 		// Transfer the unit: occupancy stays constant, waiter resumes.
 		pl.popWaiter()
 		return
@@ -271,7 +313,7 @@ func (pl *Pool) Leak(n int) {
 	}
 	pl.account()
 	for ; n > 0; n-- {
-		if pl.inUse < pl.capacity && len(pl.waiters) == 0 {
+		if pl.inUse < pl.capacity && pl.Queued() == 0 {
 			pl.inUse++
 			pl.leaked++
 		} else {
@@ -298,7 +340,7 @@ func (pl *Pool) Restore(n int) {
 	}
 	for ; n > 0 && pl.leaked > 0; n-- {
 		pl.leaked--
-		if len(pl.waiters) > 0 && pl.inUse <= pl.capacity {
+		if pl.Queued() > 0 && pl.inUse <= pl.capacity {
 			pl.popWaiter()
 			continue
 		}
@@ -322,7 +364,7 @@ func (pl *Pool) Resize(capacity int) {
 		pl.occTime = append(pl.occTime, 0)
 	}
 	// Admit waiters into newly available units.
-	for len(pl.waiters) > 0 && pl.inUse < pl.capacity {
+	for pl.Queued() > 0 && pl.inUse < pl.capacity {
 		pl.inUse++
 		pl.popWaiter()
 	}
@@ -343,23 +385,29 @@ func (pl *Pool) ResetStats() {
 	pl.waited = 0
 	pl.timeouts = 0
 	pl.totalWait = 0
-	pl.maxQueue = len(pl.waiters)
+	pl.maxQueue = pl.Queued()
 }
 
 // PoolStats is a snapshot of a pool's accumulated statistics.
 type PoolStats struct {
-	Name        string
-	Capacity    int
-	Utilization float64         // mean in-use fraction over the interval
-	Full        float64         // fraction of time all units were busy
-	Saturated   float64         // fraction of time full AND waiters queued
-	Grants      uint64          // successful acquisitions
-	Waited      uint64          // acquisitions that had to queue
-	Timeouts    uint64          // acquisitions abandoned at the timeout
-	MeanWait    time.Duration   // mean wait over all grants
-	MaxQueue    int             // deepest wait queue observed
-	Leaked      int             // units currently bled out by leak faults
-	OccTime     []time.Duration // time spent at occupancy 0..Capacity
+	Name     string
+	Capacity int
+	// Utilization is the mean in-use fraction over the interval relative
+	// to the current capacity; it can exceed 1 across an interval that
+	// included over-full drain states after a shrink.
+	Utilization float64
+	Full        float64       // fraction of time all units were busy (inUse >= capacity)
+	Saturated   float64       // fraction of time full AND waiters queued
+	Grants      uint64        // successful acquisitions
+	Waited      uint64        // acquisitions that had to queue
+	Timeouts    uint64        // acquisitions abandoned at the timeout
+	MeanWait    time.Duration // mean wait over all grants
+	MaxQueue    int           // deepest wait queue observed
+	Leaked      int           // units currently bled out by leak faults
+	// OccTime is the time spent at each occupancy level. Its length is one
+	// more than the highest capacity the pool has had: after a shrink,
+	// indexes above Capacity record the retained over-full drain time.
+	OccTime []time.Duration
 }
 
 // pending returns the occupancy increments accrued since the last state
@@ -372,7 +420,7 @@ func (pl *Pool) pending() (dt time.Duration, busy float64, full, sat time.Durati
 		busy = float64(pl.inUse) * dt.Seconds()
 		if pl.inUse >= pl.capacity {
 			full = dt
-			if len(pl.waiters) > 0 {
+			if pl.Queued() > 0 {
 				sat = dt
 			}
 		}

@@ -272,8 +272,11 @@ func TestAbandonReleasesAccountingOnShutdown(t *testing.T) {
 		t.Fatalf("InUse() = %d before shutdown, want 2", pl.InUse())
 	}
 	env.Shutdown()
+	// Live() == 0 guarantees every unwound process finished its cleanups
+	// (the counter is decremented after they run), so the InUse read below
+	// cannot race with a still-running Abandon.
 	deadline := time.Now().Add(2 * time.Second)
-	for (env.Live() != 0 || pl.InUse() != 0) && time.Now().Before(deadline) {
+	for env.Live() != 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	if env.Live() != 0 {

@@ -133,13 +133,16 @@ func Start(env *des.Env, cfg ClientConfig, table *Table, target Target, collect 
 	}
 	w := &Workload{cfg: cfg, table: table}
 	for u := 0; u < cfg.Users; u++ {
-		u := u
-		r := rng.NewStream(cfg.Seed, fmt.Sprintf("user-%d", u))
+		// label doubles as the RNG stream name and the diagnostic process
+		// name; it is part of the deterministic contract (changing stream
+		// labels changes every trial outcome) and so must stay "user-%d".
+		label := fmt.Sprintf("user-%d", u)
+		r := rng.NewStream(cfg.Seed, label)
 		var offset time.Duration
 		if cfg.RampUp > 0 {
 			offset = time.Duration(uint64(cfg.RampUp) * uint64(u) / uint64(cfg.Users))
 		}
-		env.Go(fmt.Sprintf("user-%d", u), func(p *des.Proc) {
+		env.Go(label, func(p *des.Proc) {
 			p.Sleep(offset)
 			state := StoriesOfTheDay
 			think := cfg.ThinkMean

@@ -83,49 +83,70 @@ func StartOpen(env *des.Env, cfg OpenConfig, table *Table, target Target, collec
 	}
 	src := cfg.Arrivals.NewSource(rng.NewStream(cfg.Seed, "arrivals"))
 	nav := rng.NewStream(cfg.Seed, "nav")
-	env.Go("arrivals", func(p *des.Proc) {
-		state := StoriesOfTheDay
-		var n uint64
-		for {
-			p.Sleep(src.Next())
-			n++
-			it := &w.table.Items[state]
-			state = cfg.Matrix.Next(nav, state)
-			issued := p.Now()
-			w.issued++
-			ctx := &trace.Ctx{Write: it.Write}
-			if cfg.Deadline > 0 {
-				ctx.Deadline = issued + cfg.Deadline
-			}
-			if cfg.Tracer != nil {
-				ctx.Trace = cfg.Tracer.Sample(it.Name, issued)
-			}
-			env.Go(fmt.Sprintf("req-%d", n), func(rp *des.Proc) {
-				rp.SetData(ctx)
-				err := target.Do(rp, it)
-				if ctx.Trace != nil {
-					cfg.Tracer.Finish(ctx.Trace, rp.Now())
-				}
-				rt := rp.Now() - issued
-				switch {
-				case err == nil:
-					w.completed++
-					if ctx.Deadline > 0 && rp.Now() > ctx.Deadline {
-						w.late++
-					}
-				case isShed(err):
-					w.shed++
-				default:
-					w.failed++
-				}
-				if collect != nil {
-					collect(it, issued, rt, err)
-				}
-			})
+	// The arrival pump is a re-armed timer, not a generator process: a
+	// dedicated goroutine would cost two channel handoffs per arrival, which
+	// at the 10⁵/s rates of the overload experiments dominates the run. Gaps
+	// are drawn a batch at a time (exact — see trace.FillGaps); request
+	// processes still get their own goroutine, since they block in the tiers.
+	state := StoriesOfTheDay
+	gaps := make([]time.Duration, arrivalBatch)
+	idx := len(gaps)
+	var pump *des.Timer
+	pump = env.NewTimer(func() {
+		it := &w.table.Items[state]
+		state = cfg.Matrix.Next(nav, state)
+		issued := env.Now()
+		w.issued++
+		ctx := &trace.Ctx{Write: it.Write}
+		if cfg.Deadline > 0 {
+			ctx.Deadline = issued + cfg.Deadline
 		}
+		if cfg.Tracer != nil {
+			ctx.Trace = cfg.Tracer.Sample(it.Name, issued)
+		}
+		env.Go("req", func(rp *des.Proc) {
+			rp.SetData(ctx)
+			err := target.Do(rp, it)
+			if ctx.Trace != nil {
+				cfg.Tracer.Finish(ctx.Trace, rp.Now())
+			}
+			rt := rp.Now() - issued
+			switch {
+			case err == nil:
+				w.completed++
+				if ctx.Deadline > 0 && rp.Now() > ctx.Deadline {
+					w.late++
+				}
+			case isShed(err):
+				w.shed++
+			default:
+				w.failed++
+			}
+			if collect != nil {
+				collect(it, issued, rt, err)
+			}
+		})
+		if idx == len(gaps) {
+			trace.FillGaps(src, gaps)
+			idx = 0
+		}
+		next := issued + gaps[idx]
+		idx++
+		if next < issued {
+			return // gap overflowed the clock: the stream has effectively ended
+		}
+		pump.ArmAt(next)
 	})
+	trace.FillGaps(src, gaps)
+	idx = 1
+	if first := env.Now() + gaps[0]; first >= env.Now() {
+		pump.ArmAt(first)
+	}
 	return w, nil
 }
+
+// arrivalBatch is how many inter-arrival gaps the pump pre-draws per refill.
+const arrivalBatch = 512
 
 // OpenEquivUsers converts a served-request rate into the equivalent
 // closed-loop user population via Little's law with the paper's 7 s think

@@ -1,0 +1,371 @@
+// Command ntier-chaos fuzzes the simulated n-tier deployment with
+// randomized fault plans and judges every run against the conservation
+// and recovery oracles (see internal/chaos). Failing plans are shrunk to
+// minimal reproducers and can be written out as loadable JSON.
+//
+// Run a seeded campaign — 3 topology seeds × 20 plans each — with
+// crash-safe journaling and minimized repros on disk:
+//
+//	ntier-chaos -hw 1/2/1/2 -soft 400-15-6 -seeds 3 -plans 20 \
+//	  -state-dir runs/chaos -repro repros/
+//
+// Replay a minimized reproducer:
+//
+//	ntier-chaos -replay repros/seed0-plan7.json -hw 1/2/1/2 -soft 400-15-6
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/softres/ntier/internal/chaos"
+	"github.com/softres/ntier/internal/cli"
+	"github.com/softres/ntier/internal/experiment"
+	"github.com/softres/ntier/internal/fault"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		hwS   = fs.String("hw", "1/2/1/2", "hardware configuration #W/#A/#C/#D")
+		softS = fs.String("soft", "400-15-6", "soft allocation Wt-At-Ac")
+		seed  = fs.Uint64("seed", 1, "base seed (trial s uses topology seed base+s)")
+		seeds = fs.Int("seeds", 1, "topology seeds to fuzz")
+		plans = fs.Int("plans", 20, "fault plans per seed")
+
+		users    = fs.Int("wl", 150, "closed-loop workload (emulated users)")
+		think    = fs.Duration("think", time.Second, "think-time mean")
+		ramp     = fs.Duration("ramp", 5*time.Second, "ramp-up period (simulated)")
+		baseline = fs.Duration("baseline", 20*time.Second, "fault-free baseline window")
+		grace    = fs.Duration("grace", 10*time.Second, "settle time before the recovery window")
+		recovery = fs.Duration("recovery", 20*time.Second, "recovery measurement window")
+		drain    = fs.Duration("drain", 2*time.Minute, "quiescence drain budget (simulated)")
+
+		horizon   = fs.Duration("horizon", time.Minute, "fault horizon: all plans revert within it")
+		minEvents = fs.Int("min-events", 1, "minimum events per plan")
+		maxEvents = fs.Int("max-events", 6, "maximum events per plan")
+		jitter    = fs.Float64("jitter", 0.2, "start-time jitter fraction in [0,1)")
+
+		goodTol = fs.Float64("goodput-tol", 0.3, "allowed recovery goodput drop (fraction of baseline)")
+		p95Fac  = fs.Float64("p95-factor", 2, "allowed recovery p95 inflation over baseline")
+
+		shrink   = fs.Int("shrink", 64, "shrink budget (trials per failing plan; 0 = no shrinking)")
+		reproDir = fs.String("repro", "", "write minimized repro plans as JSON into DIR")
+		replay   = fs.String("replay", "", "replay one plan JSON file instead of fuzzing")
+		plant    = fs.Int("plant-leak-deficit", 0, "plant a revert-deficit bug of N units (campaign self-validation; forces -jitter 0)")
+		csvPath  = fs.String("csv", "", "write the per-trial verdict CSV to this file")
+	)
+	common := cli.RegisterCommonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
+	}
+	hw, err := cli.ParseHardware(*hwS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	soft, err := cli.ParseSoftAlloc(*softS)
+	if err != nil {
+		return cli.Fail(fs, fmt.Errorf("-soft: %w", err))
+	}
+	if *seeds <= 0 || *plans <= 0 {
+		return cli.Fail(fs, fmt.Errorf("-seeds and -plans must be positive (got %d, %d)", *seeds, *plans))
+	}
+	if *jitter < 0 || *jitter >= 1 {
+		return cli.Fail(fs, fmt.Errorf("-jitter: %g outside [0,1)", *jitter))
+	}
+	if *plant > 0 {
+		*jitter = 0 // the planted revert is scheduled at the nominal end
+	}
+
+	trial := chaos.TrialConfig{
+		Topology:           testbed.Options{Hardware: hw, Soft: soft},
+		Users:              *users,
+		ThinkMean:          *think,
+		RampUp:             *ramp,
+		Baseline:           *baseline,
+		Grace:              *grace,
+		Recovery:           *recovery,
+		DrainBudget:        *drain,
+		GoodputTol:         *goodTol,
+		P95Factor:          *p95Fac,
+		LeakRestoreDeficit: *plant,
+		TrialTimeout:       *common.TrialTimeout,
+	}
+
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+	trial.Ctx = ctx
+
+	if *replay != "" {
+		return runReplay(stdout, stderr, trial, *replay, *seed)
+	}
+
+	trial.Topology.Seed = *seed
+	targets, err := chaos.Discover(trial.Topology)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	cfg := chaos.CampaignConfig{
+		Trial: trial,
+		Gen: chaos.GenConfig{
+			Targets:    targets,
+			Horizon:    *horizon,
+			MinEvents:  *minEvents,
+			MaxEvents:  *maxEvents,
+			JitterFrac: *jitter,
+		},
+		BaseSeed:     *seed,
+		Seeds:        *seeds,
+		PlansPerSeed: *plans,
+		ShrinkBudget: *shrink,
+		Parallelism:  *common.Parallel,
+		Ctx:          ctx,
+	}
+
+	var cleanup func() error
+	if *common.StateDir != "" {
+		st, err := experiment.OpenState(*common.StateDir, cfg.Fingerprint(), *common.Resume)
+		if err != nil {
+			fmt.Fprintf(stderr, "ntier-chaos: %v\n", err)
+			return 1
+		}
+		cfg.State = st
+		cleanup = st.Close
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	var mu sync.Mutex
+	done := 0
+	total := cfg.Seeds * cfg.PlansPerSeed
+	cfg.OnVerdict = func(o chaos.Outcome, restored bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		tag := ""
+		if restored {
+			tag = " (journaled)"
+		}
+		class := o.Verdict.Class
+		if class == "" {
+			class = "pass"
+		}
+		fmt.Fprintf(stderr, "[%3d/%d] %-16s %-10s faults=%d%s\n", done, total, o.Key, class, o.Verdict.Faults, tag)
+	}
+
+	fmt.Fprintf(stdout, "chaos campaign: hw=%s soft=%s seeds=%d plans=%d horizon=%v jitter=%g shrink=%d\n",
+		hw, soft, cfg.Seeds, cfg.PlansPerSeed, *horizon, *jitter, cfg.ShrinkBudget)
+	outcomes, err := RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ntier-chaos: %v\n", err)
+		if hint := cli.ResumeHint(*common.StateDir); hint != "" && ctx.Err() != nil {
+			fmt.Fprintln(stderr, hint)
+		}
+		return cli.ExitCode(err)
+	}
+
+	failures := report(stdout, outcomes)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, outcomes); err != nil {
+			fmt.Fprintf(stderr, "ntier-chaos: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "verdict CSV written to %s\n", *csvPath)
+	}
+	if *reproDir != "" && failures > 0 {
+		n, err := writeRepros(*reproDir, outcomes)
+		if err != nil {
+			fmt.Fprintf(stderr, "ntier-chaos: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%d minimized repro plan(s) written to %s\n", n, *reproDir)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RunCampaign is an indirection point so tests could stub the heavy
+// fan-out; production just forwards.
+var RunCampaign = chaos.RunCampaign
+
+// report prints the verdict table and summary, returning the failure count.
+func report(w io.Writer, outcomes []chaos.Outcome) int {
+	fmt.Fprintf(w, "\n%-16s %-10s %7s %10s %10s %10s %10s %7s\n",
+		"trial", "class", "faults", "base gp/s", "rec gp/s", "base p95", "rec p95", "shrunk")
+	byClass := map[string]int{}
+	failures := 0
+	for _, o := range outcomes {
+		v := o.Verdict
+		class := v.Class
+		if class == "" {
+			class = "pass"
+		}
+		byClass[class]++
+		if v.Failed() {
+			failures++
+		}
+		shrunk := "-"
+		if o.Shrunk != nil {
+			shrunk = strconv.Itoa(len(o.Shrunk.Events))
+		}
+		fmt.Fprintf(w, "%-16s %-10s %7d %10.1f %10.1f %10v %10v %7s\n",
+			o.Key, class, v.Faults, v.Baseline.Goodput, v.Recovery.Goodput,
+			v.Baseline.P95.Round(time.Millisecond), v.Recovery.P95.Round(time.Millisecond), shrunk)
+		for _, viol := range v.Violations {
+			fmt.Fprintf(w, "    %s\n", viol)
+		}
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "\n%d trials:", len(outcomes))
+	for _, c := range classes {
+		fmt.Fprintf(w, " %s=%d", c, byClass[c])
+	}
+	fmt.Fprintln(w)
+	return failures
+}
+
+// writeCSV writes one row per trial.
+func writeCSV(path string, outcomes []chaos.Outcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(f)
+	header := []string{
+		"trial", "topo_seed", "plan_seed", "events", "class", "drained", "faults",
+		"baseline_goodput", "recovery_goodput", "baseline_p95_ms", "recovery_p95_ms",
+		"violations", "shrunk_events", "shrink_trials",
+	}
+	if err := cw.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, o := range outcomes {
+		v := o.Verdict
+		class := v.Class
+		if class == "" {
+			class = "pass"
+		}
+		shrunk := ""
+		if o.Shrunk != nil {
+			shrunk = strconv.Itoa(len(o.Shrunk.Events))
+		}
+		row := []string{
+			o.Key,
+			strconv.FormatUint(o.TopoSeed, 10),
+			strconv.FormatUint(o.PlanSeed, 10),
+			strconv.Itoa(len(o.Plan.Events)),
+			class,
+			strconv.FormatBool(v.Drained),
+			strconv.Itoa(v.Faults),
+			fmt.Sprintf("%.3f", v.Baseline.Goodput),
+			fmt.Sprintf("%.3f", v.Recovery.Goodput),
+			fmt.Sprintf("%.3f", float64(v.Baseline.P95)/float64(time.Millisecond)),
+			fmt.Sprintf("%.3f", float64(v.Recovery.P95)/float64(time.Millisecond)),
+			strconv.Itoa(len(v.Violations)),
+			shrunk,
+			strconv.Itoa(o.ShrinkTrials),
+		}
+		if err := cw.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeRepros writes each failing trial's minimized plan as JSON named
+// after its trial key, loadable with -replay (or fault.ParsePlan).
+func writeRepros(dir string, outcomes []chaos.Outcome) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, o := range outcomes {
+		if o.Shrunk == nil {
+			continue
+		}
+		data, err := json.MarshalIndent(o.Shrunk, "", "  ")
+		if err != nil {
+			return n, err
+		}
+		si, pi := 0, 0
+		fmt.Sscanf(o.Key, "seed=%d/plan=%d", &si, &pi)
+		path := filepath.Join(dir, fmt.Sprintf("seed%d-plan%d.json", si, pi))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// runReplay loads one plan file and runs a single judged trial.
+func runReplay(stdout, stderr io.Writer, trial chaos.TrialConfig, path string, seed uint64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "ntier-chaos: %v\n", err)
+		return 1
+	}
+	plan, err := fault.ParsePlan(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "ntier-chaos: %s: %v\n", path, err)
+		return 1
+	}
+	trial.Topology.Seed = seed
+	v, err := RunTrial(trial, plan)
+	if err != nil {
+		fmt.Fprintf(stderr, "ntier-chaos: %s: %v\n", path, err)
+		return cli.ExitCode(err)
+	}
+	class := v.Class
+	if class == "" {
+		class = "pass"
+	}
+	fmt.Fprintf(stdout, "replay %s (%d events, seed %d): %s\n", path, len(plan.Events), seed, class)
+	fmt.Fprintf(stdout, "  baseline: %d pages, %.1f/s, p95 %v\n",
+		v.Baseline.Completions, v.Baseline.Goodput, v.Baseline.P95.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  recovery: %d pages, %.1f/s, p95 %v\n",
+		v.Recovery.Completions, v.Recovery.Goodput, v.Recovery.P95.Round(time.Millisecond))
+	for _, viol := range v.Violations {
+		fmt.Fprintf(stdout, "  violation: %s\n", viol)
+	}
+	if v.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// RunTrial is an indirection point matching RunCampaign.
+var RunTrial = chaos.RunTrial

@@ -1,0 +1,218 @@
+// Plan shrinking: delta debugging a failing fault plan down to a minimal
+// reproducer. Three passes — drop events (ddmin), narrow windows, reduce
+// magnitudes — each accepted only when the candidate still fails with the
+// same class, so the minimized plan reproduces the original defect, not a
+// different one.
+
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/fault"
+)
+
+// ErrNotReproduced reports a Shrink whose input plan did not fail with
+// the expected class when re-run — nothing to minimize.
+var ErrNotReproduced = errors.New("chaos: plan does not reproduce the failure")
+
+// RunFunc re-executes a candidate plan and returns its verdict. Shrink
+// calls it many times; errors (cancellation, watchdog timeouts) abort the
+// shrink and propagate.
+type RunFunc func(fault.Plan) (*Verdict, error)
+
+// ShrinkResult is the minimized plan with the verdict that confirmed it.
+type ShrinkResult struct {
+	Plan    fault.Plan
+	Verdict *Verdict
+	Trials  int // run invocations spent
+}
+
+type shrinker struct {
+	class  string
+	run    RunFunc
+	budget int
+	trials int
+}
+
+// test runs a candidate, reporting whether it still fails with the target
+// class. Exhausted budget reports false without running.
+func (s *shrinker) test(p fault.Plan) (bool, *Verdict, error) {
+	if s.trials >= s.budget {
+		return false, nil, nil
+	}
+	s.trials++
+	v, err := s.run(p)
+	if err != nil {
+		return false, nil, err
+	}
+	return v != nil && v.Class == s.class, v, nil
+}
+
+// Shrink minimizes a plan that fails with the given class, spending at
+// most budget (default 64) runs. The input plan is re-run first to
+// confirm the failure reproduces; ErrNotReproduced otherwise.
+func Shrink(plan fault.Plan, class string, budget int, run RunFunc) (ShrinkResult, error) {
+	if budget <= 0 {
+		budget = 64
+	}
+	s := &shrinker{class: class, run: run, budget: budget}
+	ok, v, err := s.test(plan)
+	if err != nil {
+		return ShrinkResult{}, err
+	}
+	if !ok {
+		return ShrinkResult{}, fmt.Errorf("%w (class %q)", ErrNotReproduced, class)
+	}
+	best, bestV := plan, v
+
+	accept := func(cand fault.Plan) (bool, error) {
+		ok, v, err := s.test(cand)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			best, bestV = cand, v
+		}
+		return ok, nil
+	}
+
+	if best, bestV, err = s.ddmin(best, bestV); err != nil {
+		return ShrinkResult{}, err
+	}
+	if err := s.narrowWindows(&best, accept); err != nil {
+		return ShrinkResult{}, err
+	}
+	if err := s.reduceMagnitudes(&best, accept); err != nil {
+		return ShrinkResult{}, err
+	}
+	return ShrinkResult{Plan: best, Verdict: bestV, Trials: s.trials}, nil
+}
+
+// ddmin is the classic delta-debugging event minimization: partition the
+// events into n chunks, try each complement, keep any complement that
+// still fails, refining granularity until single events cannot be removed.
+func (s *shrinker) ddmin(plan fault.Plan, v *Verdict) (fault.Plan, *Verdict, error) {
+	events := plan.Events
+	n := 2
+	for len(events) >= 2 && n <= len(events) {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(events); lo += chunk {
+			hi := lo + chunk
+			if hi > len(events) {
+				hi = len(events)
+			}
+			complement := make([]fault.Event, 0, len(events)-(hi-lo))
+			complement = append(complement, events[:lo]...)
+			complement = append(complement, events[hi:]...)
+			ok, cv, err := s.test(fault.Plan{Events: complement, JitterFrac: plan.JitterFrac})
+			if err != nil {
+				return plan, v, err
+			}
+			if ok {
+				events, v = complement, cv
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break
+			}
+			n *= 2
+			if n > len(events) {
+				n = len(events)
+			}
+		}
+	}
+	return fault.Plan{Events: events, JitterFrac: plan.JitterFrac}, v, nil
+}
+
+// narrowWindows repeatedly halves each event's duration while the plan
+// keeps failing, stopping below 1ms.
+func (s *shrinker) narrowWindows(best *fault.Plan, accept func(fault.Plan) (bool, error)) error {
+	for i := range best.Events {
+		for {
+			e := best.Events[i]
+			if e.End == 0 {
+				break // never reverts; no window to narrow
+			}
+			dur := e.End - e.Start
+			if dur < 2*time.Millisecond {
+				break
+			}
+			cand := clonePlan(*best)
+			cand.Events[i].End = e.Start + dur/2
+			ok, err := accept(cand)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			*best = cand
+		}
+	}
+	return nil
+}
+
+// reduceMagnitudes weakens each event — raise brown-out speed toward 1,
+// halve spike latency, halve leaked units — while the plan keeps failing.
+func (s *shrinker) reduceMagnitudes(best *fault.Plan, accept func(fault.Plan) (bool, error)) error {
+	for i := range best.Events {
+		for {
+			cand, reducible := weaken(*best, i)
+			if !reducible {
+				break
+			}
+			ok, err := accept(cand)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			*best = cand
+		}
+	}
+	return nil
+}
+
+// weaken builds a candidate with event i one step less severe, or reports
+// that the event is already at its weakest (crashes have no magnitude).
+func weaken(p fault.Plan, i int) (fault.Plan, bool) {
+	e := p.Events[i]
+	cand := clonePlan(p)
+	switch e.Kind {
+	case fault.KindBrownout:
+		if 1-e.Speed <= 0.05 {
+			return p, false
+		}
+		cand.Events[i].Speed = (e.Speed + 1) / 2
+	case fault.KindNetSpike:
+		if e.Extra <= time.Millisecond {
+			return p, false
+		}
+		cand.Events[i].Extra = e.Extra / 2
+	case fault.KindConnLeak:
+		if e.Units <= 1 {
+			return p, false
+		}
+		cand.Events[i].Units = e.Units / 2
+	default:
+		return p, false
+	}
+	return cand, true
+}
+
+func clonePlan(p fault.Plan) fault.Plan {
+	events := make([]fault.Event, len(p.Events))
+	copy(events, p.Events)
+	return fault.Plan{Events: events, JitterFrac: p.JitterFrac}
+}

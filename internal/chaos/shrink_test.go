@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/fault"
+)
+
+// syntheticOracle fails (class "invariant") whenever the plan still
+// contains a connection leak of at least two units — a stand-in defect
+// with a known 1-event, 2-unit minimal reproducer.
+func syntheticOracle(calls *int) RunFunc {
+	return func(p fault.Plan) (*Verdict, error) {
+		*calls++
+		for _, e := range p.Events {
+			if e.Kind == fault.KindConnLeak && e.Units >= 2 {
+				return &Verdict{Class: ClassInvariant, Violations: []string{"synthetic leak"}}, nil
+			}
+		}
+		return &Verdict{}, nil
+	}
+}
+
+func noisyPlan() fault.Plan {
+	return fault.Plan{Events: []fault.Event{
+		fault.Crash("apache1", 1*time.Second, 3*time.Second),
+		fault.Brownout("tomcat1", 2*time.Second, 6*time.Second, 0.3),
+		fault.ConnLeak("tomcat1/conns", 1*time.Second, 9*time.Second, 8),
+		fault.NetSpike("link", 4*time.Second, 5*time.Second, 10*time.Millisecond),
+		fault.Crash("mysql1", 6*time.Second, 8*time.Second),
+	}}
+}
+
+func TestShrinkMinimizesToTriggeringEvent(t *testing.T) {
+	var calls int
+	res, err := Shrink(noisyPlan(), ClassInvariant, 200, syntheticOracle(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Events) != 1 {
+		t.Fatalf("shrunk to %d events, want 1: %v", len(res.Plan.Events), res.Plan.Events)
+	}
+	e := res.Plan.Events[0]
+	if e.Kind != fault.KindConnLeak || e.Target != "tomcat1/conns" {
+		t.Fatalf("kept the wrong event: %s", e)
+	}
+	if e.Units != 2 {
+		t.Errorf("magnitude not minimized: %d units, want 2", e.Units)
+	}
+	if dur := e.End - e.Start; dur >= 8*time.Second {
+		t.Errorf("window not narrowed: %v", dur)
+	}
+	if res.Verdict == nil || res.Verdict.Class != ClassInvariant {
+		t.Errorf("final verdict %+v", res.Verdict)
+	}
+	if res.Trials != calls {
+		t.Errorf("reported %d trials, oracle saw %d", res.Trials, calls)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Errorf("shrunk plan invalid: %v", err)
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	var calls int
+	if _, err := Shrink(noisyPlan(), ClassInvariant, 5, syntheticOracle(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls > 5 {
+		t.Fatalf("oracle ran %d times over a budget of 5", calls)
+	}
+}
+
+func TestShrinkNotReproduced(t *testing.T) {
+	passing := func(fault.Plan) (*Verdict, error) { return &Verdict{}, nil }
+	if _, err := Shrink(noisyPlan(), ClassInvariant, 50, passing); !errors.Is(err, ErrNotReproduced) {
+		t.Fatalf("err = %v, want ErrNotReproduced", err)
+	}
+}
+
+// A failure of a different class must not satisfy the shrinker: a
+// candidate that flips from invariant to metastable is a different bug.
+func TestShrinkMatchesFailureClass(t *testing.T) {
+	oracle := func(p fault.Plan) (*Verdict, error) {
+		for _, e := range p.Events {
+			if e.Kind == fault.KindConnLeak {
+				return &Verdict{Class: ClassInvariant}, nil
+			}
+		}
+		return &Verdict{Class: ClassMetastable}, nil
+	}
+	res, err := Shrink(noisyPlan(), ClassInvariant, 200, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Plan.Events {
+		if e.Kind == fault.KindConnLeak {
+			return
+		}
+	}
+	t.Fatalf("shrunk plan lost the invariant-class trigger: %v", res.Plan.Events)
+}
+
+func TestShrinkAbortsOnRunError(t *testing.T) {
+	boom := errors.New("watchdog")
+	n := 0
+	oracle := func(p fault.Plan) (*Verdict, error) {
+		n++
+		if n > 2 {
+			return nil, boom
+		}
+		return &Verdict{Class: ClassInvariant}, nil
+	}
+	if _, err := Shrink(noisyPlan(), ClassInvariant, 50, oracle); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the run error", err)
+	}
+}

@@ -117,6 +117,22 @@ func (e *Env) queueLen() int { return e.q.len() }
 // have not yet returned.
 func (e *Env) Live() int { return int(e.procs.Load()) }
 
+// Audit checks the scheduler's internal bookkeeping: the lazy-deletion
+// dead-entry counter must stay within the physical queue and no derived
+// count may go negative. It is a cheap pure read, called between Run calls
+// by the chaos campaign's conservation-invariant oracle; a violation means
+// the event lifecycle itself lost track of an event, not that the model
+// misbehaved.
+func (e *Env) Audit() error {
+	if e.nDead < 0 || e.nDead > e.q.len() {
+		return fmt.Errorf("des: dead-entry counter %d outside physical queue of %d entries", e.nDead, e.q.len())
+	}
+	if live := e.Live(); live < 0 {
+		return fmt.Errorf("des: %d live processes", live)
+	}
+	return nil
+}
+
 // Event lifecycle states. An event record is reused through the free list
 // once it can no longer be observed through a handle, so the state of a
 // record is always interpreted together with its seq (see Event).

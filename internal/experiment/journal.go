@@ -47,11 +47,15 @@ type journalHeader struct {
 // trial completed) or Err describes a deterministic per-trial failure (a
 // panicking simulation) that resume must not retry. Transient failures —
 // cancellation, watchdog timeouts — are never journaled, so they re-run.
+// Campaigns whose trial outcome is not an experiment Result (the chaos
+// verdicts) journal their own payload through Data instead; the framing,
+// fsync, and torn-tail guarantees are identical.
 type TrialRecord struct {
-	Key    string         `json:"key"`
-	Err    string         `json:"err,omitempty"`
-	Stack  string         `json:"stack,omitempty"`
-	Result *resultPayload `json:"result,omitempty"`
+	Key    string          `json:"key"`
+	Err    string          `json:"err,omitempty"`
+	Stack  string          `json:"stack,omitempty"`
+	Result *resultPayload  `json:"result,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
 }
 
 // Journal is an append-only record of completed trials, safe for

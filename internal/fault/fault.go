@@ -10,9 +10,20 @@
 // probe the same thread- and connection-pool pipeline under disturbance
 // (crashes, brown-outs, leaks) to expose how allocation choices change
 // resilience, not just throughput.
+//
+// # Overlap semantics
+//
+// Events targeting the same mechanism may overlap freely; the injector
+// composes them instead of letting the first revert undo a still-active
+// fault. Crashes are refcounted (a node is up only when no crash window
+// covers it), concurrent brown-outs run the CPU at the most severe (lowest)
+// active speed, concurrent latency spikes impose the largest active extra
+// delay, and connection leaks are additive by construction (each event
+// leaks and restores its own units).
 package fault
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -55,6 +66,40 @@ func (k Kind) String() string {
 		return "connleak"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindCrash, KindBrownout, KindNetSpike, KindConnLeak} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// MarshalJSON renders the kind by name, so plan files stay readable and
+// independent of the enum's numeric layout.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case KindCrash, KindBrownout, KindNetSpike, KindConnLeak:
+		return json.Marshal(k.String())
+	}
+	return nil, fmt.Errorf("fault: cannot marshal unknown kind %d", int(k))
+}
+
+// UnmarshalJSON parses a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // Event is one timed fault. Start and End are offsets from the schedule
@@ -108,14 +153,102 @@ func ConnLeak(target string, start, end time.Duration, units int) Event {
 	return Event{Kind: KindConnLeak, Target: target, Start: start, End: end, Units: units}
 }
 
+// eventJSON is the on-disk image of an Event: durations as Go duration
+// strings (exact — String/ParseDuration round-trip at nanosecond
+// precision), the kind by name.
+type eventJSON struct {
+	Kind   Kind    `json:"kind"`
+	Target string  `json:"target"`
+	Start  string  `json:"start"`
+	End    string  `json:"end,omitempty"`
+	Speed  float64 `json:"speed,omitempty"`
+	Extra  string  `json:"extra,omitempty"`
+	Units  int     `json:"units,omitempty"`
+}
+
+// MarshalJSON renders the event with human-readable durations.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{Kind: e.Kind, Target: e.Target, Start: e.Start.String(), Speed: e.Speed, Units: e.Units}
+	if e.End != 0 {
+		j.End = e.End.String()
+	}
+	if e.Extra != 0 {
+		j.Extra = e.Extra.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the event image (empty durations mean zero).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	parse := func(s, field string) (time.Duration, error) {
+		if s == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("fault: event %s: %w", field, err)
+		}
+		return d, nil
+	}
+	var err error
+	ev := Event{Kind: j.Kind, Target: j.Target, Speed: j.Speed, Units: j.Units}
+	if ev.Start, err = parse(j.Start, "start"); err != nil {
+		return err
+	}
+	if ev.End, err = parse(j.End, "end"); err != nil {
+		return err
+	}
+	if ev.Extra, err = parse(j.Extra, "extra"); err != nil {
+		return err
+	}
+	*e = ev
+	return nil
+}
+
 // Plan is a declarative fault schedule.
 type Plan struct {
-	Events []Event
+	Events []Event `json:"events"`
 
 	// JitterFrac, when positive, perturbs each event's start time by a
 	// uniform draw in ±JitterFrac of its offset, from the injector's seeded
 	// stream — deterministic per seed, varied across seeds.
-	JitterFrac float64
+	JitterFrac float64 `json:"jitter_frac,omitempty"`
+}
+
+// planJSON mirrors Plan for (un)marshaling without recursing into the
+// custom methods.
+type planJSON struct {
+	Events     []Event `json:"events"`
+	JitterFrac float64 `json:"jitter_frac,omitempty"`
+}
+
+// UnmarshalJSON loads a plan and validates it, so a malformed repro file
+// fails at parse time instead of poisoning an injector later.
+func (pl *Plan) UnmarshalJSON(data []byte) error {
+	var j planJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	loaded := Plan{Events: j.Events, JitterFrac: j.JitterFrac}
+	if err := loaded.Validate(); err != nil {
+		return err
+	}
+	*pl = loaded
+	return nil
+}
+
+// ParsePlan decodes a JSON plan (as written by Plan's MarshalJSON — e.g. a
+// chaos repro file) and validates it.
+func ParsePlan(data []byte) (Plan, error) {
+	var pl Plan
+	if err := json.Unmarshal(data, &pl); err != nil {
+		return Plan{}, err
+	}
+	return pl, nil
 }
 
 // Validate checks the plan's internal consistency (targets are checked
@@ -196,11 +329,18 @@ type Targets struct {
 	Spikes map[string]*netsim.Spike  // latency-spike targets by link name
 }
 
-// Record is one applied injector action, for scenario reports.
+// Record is one applied injector action, for scenario reports and chaos
+// reproduction. Start/End are the event's effective (post-jitter) offsets
+// from the schedule base and Seed the injector's jitter seed, so a failing
+// jittered plan round-trips exactly: replaying Plan with the same seed
+// reproduces these effective times byte-for-byte.
 type Record struct {
-	At     time.Duration // absolute simulation time
-	Event  Event
-	Revert bool // true when this action reverted the fault
+	At     time.Duration `json:"at"` // absolute simulation time
+	Event  Event         `json:"event"`
+	Revert bool          `json:"revert,omitempty"` // true when this action reverted the fault
+	Start  time.Duration `json:"start"`            // effective (post-jitter) start offset
+	End    time.Duration `json:"end,omitempty"`    // effective (post-jitter) end offset; 0 = never reverts
+	Seed   uint64        `json:"seed"`             // the injector's jitter seed
 }
 
 // String renders the record.
@@ -217,13 +357,31 @@ type Injector struct {
 	env     *des.Env
 	targets Targets
 	r       *rng.Rand
+	seed    uint64
 	records []Record
+
+	// Active-fault composition state (see "Overlap semantics" in the
+	// package documentation): crash windows are refcounted per node, and
+	// the active brown-out speeds / spike extras per target compose to the
+	// most severe value. Connection leaks need no state — Leak/Restore are
+	// additive in the pool itself.
+	down  map[string]int
+	slow  map[string][]float64
+	spike map[string][]time.Duration
 }
 
 // NewInjector creates an injector. seed feeds the start-time jitter stream;
 // with Plan.JitterFrac == 0 the stream is never consulted.
 func NewInjector(env *des.Env, targets Targets, seed uint64) *Injector {
-	return &Injector{env: env, targets: targets, r: rng.NewStream(seed, "fault-injector")}
+	return &Injector{
+		env:     env,
+		targets: targets,
+		r:       rng.NewStream(seed, "fault-injector"),
+		seed:    seed,
+		down:    map[string]int{},
+		slow:    map[string][]float64{},
+		spike:   map[string][]time.Duration{},
+	}
 }
 
 // Records returns the actions applied so far, in application order.
@@ -252,9 +410,9 @@ func (inj *Injector) Schedule(base time.Duration, plan Plan) error {
 				end += shift
 			}
 		}
-		inj.env.At(base+start, func() { inj.apply(e) })
+		inj.env.At(base+start, func() { inj.apply(e, start, end) })
 		if end != 0 {
-			inj.env.At(base+end, func() { inj.revert(e) })
+			inj.env.At(base+end, func() { inj.revert(e, start, end) })
 		}
 	}
 	return nil
@@ -295,30 +453,75 @@ func keys[M ~map[string]V, V any](m M) []string {
 	return out
 }
 
-func (inj *Injector) apply(e Event) {
-	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e})
+func (inj *Injector) apply(e Event, start, end time.Duration) {
+	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e, Start: start, End: end, Seed: inj.seed})
 	switch e.Kind {
 	case KindCrash:
-		inj.targets.Nodes[e.Target].SetDown(true)
+		inj.down[e.Target]++
+		if inj.down[e.Target] == 1 {
+			inj.targets.Nodes[e.Target].SetDown(true)
+		}
 	case KindBrownout:
-		inj.targets.CPUs[e.Target].SetSpeed(e.Speed)
+		inj.slow[e.Target] = append(inj.slow[e.Target], e.Speed)
+		inj.targets.CPUs[e.Target].SetSpeed(minActive(inj.slow[e.Target], 1))
 	case KindNetSpike:
-		inj.targets.Spikes[e.Target].Set(e.Extra)
+		inj.spike[e.Target] = append(inj.spike[e.Target], e.Extra)
+		inj.targets.Spikes[e.Target].Set(maxActive(inj.spike[e.Target]))
 	case KindConnLeak:
 		inj.targets.Pools[e.Target].Leak(e.Units)
 	}
 }
 
-func (inj *Injector) revert(e Event) {
-	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e, Revert: true})
+func (inj *Injector) revert(e Event, start, end time.Duration) {
+	inj.records = append(inj.records, Record{At: inj.env.Now(), Event: e, Revert: true, Start: start, End: end, Seed: inj.seed})
 	switch e.Kind {
 	case KindCrash:
-		inj.targets.Nodes[e.Target].SetDown(false)
+		if inj.down[e.Target]--; inj.down[e.Target] == 0 {
+			inj.targets.Nodes[e.Target].SetDown(false)
+		}
 	case KindBrownout:
-		inj.targets.CPUs[e.Target].SetSpeed(1)
+		inj.slow[e.Target] = removeOne(inj.slow[e.Target], e.Speed)
+		inj.targets.CPUs[e.Target].SetSpeed(minActive(inj.slow[e.Target], 1))
 	case KindNetSpike:
-		inj.targets.Spikes[e.Target].Set(0)
+		inj.spike[e.Target] = removeOne(inj.spike[e.Target], e.Extra)
+		inj.targets.Spikes[e.Target].Set(maxActive(inj.spike[e.Target]))
 	case KindConnLeak:
 		inj.targets.Pools[e.Target].Restore(e.Units)
 	}
+}
+
+// minActive returns the smallest active value, or idle when none remain.
+func minActive(vs []float64, idle float64) float64 {
+	if len(vs) == 0 {
+		return idle
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// maxActive returns the largest active value, or 0 when none remain.
+func maxActive(vs []time.Duration) time.Duration {
+	var m time.Duration
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// removeOne deletes a single instance of v (overlapping events may share a
+// magnitude; each revert retires exactly its own contribution).
+func removeOne[T comparable](vs []T, v T) []T {
+	for i := range vs {
+		if vs[i] == v {
+			return append(vs[:i], vs[i+1:]...)
+		}
+	}
+	return vs
 }

@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -169,8 +171,208 @@ func TestInjectorJitterDeterministic(t *testing.T) {
 	if a != b {
 		t.Errorf("same seed produced different schedules:\n%s\n%s", a, b)
 	}
-	if c := times(43); c == a {
+	// Compare only the effective fire times across seeds: Records embed the
+	// seed itself, which would make a whole-record comparison trivially
+	// differ even if the jitter stream were broken.
+	fireTimes := func(seed uint64) string {
+		env := des.NewEnv()
+		defer env.Shutdown()
+		targets, _, _, _, _ := testTargets(env)
+		inj := NewInjector(env, targets, seed)
+		plan := Plan{
+			JitterFrac: 0.5,
+			Events: []Event{
+				Crash("node1", 10*time.Second, 20*time.Second),
+				Brownout("node1", 10*time.Second, 20*time.Second, 0.5),
+			},
+		}
+		if err := inj.Schedule(0, plan); err != nil {
+			t.Fatal(err)
+		}
+		env.Run(time.Minute)
+		var ts []time.Duration
+		for _, r := range inj.Records() {
+			ts = append(ts, r.At)
+		}
+		return fmt.Sprint(ts)
+	}
+	if fireTimes(43) == fireTimes(42) {
 		t.Error("different seeds produced identical jittered schedules")
+	}
+}
+
+// Records must carry the effective post-jitter window and the injector
+// seed, and the recorded offsets must match the actual fire times — the
+// round-trip a chaos repro plan depends on.
+func TestRecordEffectiveTimes(t *testing.T) {
+	env := des.NewEnv()
+	defer env.Shutdown()
+	targets, _, _, _, _ := testTargets(env)
+	const seed = 77
+	inj := NewInjector(env, targets, seed)
+	base := 5 * time.Second
+	plan := Plan{
+		JitterFrac: 0.3,
+		Events:     []Event{Crash("node1", 10*time.Second, 25*time.Second)},
+	}
+	if err := inj.Schedule(base, plan); err != nil {
+		t.Fatal(err)
+	}
+	env.Run(time.Minute)
+	recs := inj.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seed != seed {
+			t.Errorf("record %d seed = %d, want %d", i, r.Seed, seed)
+		}
+		want := base + r.Start
+		if r.Revert {
+			want = base + r.End
+		}
+		if r.At != want {
+			t.Errorf("record %d fired at %v, effective offset says %v", i, r.At, want)
+		}
+	}
+	if recs[0].Start == plan.Events[0].Start {
+		t.Error("jittered record kept the nominal start (jitter not reflected)")
+	}
+	if recs[0].End-recs[0].Start != 15*time.Second {
+		t.Errorf("effective window %v, want the nominal 15s duration", recs[0].End-recs[0].Start)
+	}
+}
+
+// Two overlapping crash windows on one node must keep it down until the
+// last revert — the double-toggle bug this refcounting fixes — and the
+// other kinds must compose to the most severe active magnitude.
+func TestOverlappingFaultsCompose(t *testing.T) {
+	env := des.NewEnv()
+	defer env.Shutdown()
+	targets, srv, cpu, pool, spike := testTargets(env)
+	inj := NewInjector(env, targets, 1)
+	plan := Plan{Events: []Event{
+		Crash("node1", 1*time.Second, 5*time.Second),
+		Crash("node1", 2*time.Second, 8*time.Second),
+		Brownout("node1", 1*time.Second, 5*time.Second, 0.5),
+		Brownout("node1", 2*time.Second, 8*time.Second, 0.25),
+		NetSpike("link", 1*time.Second, 5*time.Second, 4*time.Millisecond),
+		NetSpike("link", 2*time.Second, 8*time.Second, 2*time.Millisecond),
+		ConnLeak("node1/conns", 1*time.Second, 5*time.Second, 2),
+		ConnLeak("node1/conns", 2*time.Second, 8*time.Second, 1),
+	}}
+	if err := inj.Schedule(0, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	env.Run(3 * time.Second) // both windows active
+	if !srv.down {
+		t.Error("server not down with two crash windows active")
+	}
+	if got := cpu.Speed(); got != 0.25 {
+		t.Errorf("CPU speed %v with overlapping brownouts, want the severest 0.25", got)
+	}
+	if got := spike.Extra(); got != 4*time.Millisecond {
+		t.Errorf("spike extra %v with overlapping spikes, want the largest 4ms", got)
+	}
+	if got := pool.Leaked(); got != 3 {
+		t.Errorf("pool leaked %d with overlapping leaks, want 3", got)
+	}
+
+	env.Run(6 * time.Second) // first windows reverted, second still active
+	if !srv.down {
+		t.Error("first revert brought a still-crashed node back up")
+	}
+	if got := cpu.Speed(); got != 0.25 {
+		t.Errorf("CPU speed %v after first revert, want the still-active 0.25", got)
+	}
+	if got := spike.Extra(); got != 2*time.Millisecond {
+		t.Errorf("spike extra %v after first revert, want the still-active 2ms", got)
+	}
+	if got := pool.Leaked(); got != 1 {
+		t.Errorf("pool leaked %d after first revert, want 1", got)
+	}
+
+	env.Run(10 * time.Second) // all reverted
+	if srv.down {
+		t.Error("server still down after the last revert")
+	}
+	if got := cpu.Speed(); got != 1 {
+		t.Errorf("CPU speed %v after all reverts, want 1", got)
+	}
+	if got := spike.Extra(); got != 0 {
+		t.Errorf("spike extra %v after all reverts, want 0", got)
+	}
+	if got := pool.Leaked(); got != 0 {
+		t.Errorf("pool leaked %d after all reverts, want 0", got)
+	}
+}
+
+// A plan made only of never-reverting events bounds on its starts.
+func TestPlanBoundsNeverReverting(t *testing.T) {
+	pl := Plan{Events: []Event{
+		Crash("a", 10*time.Second, 0),
+		Brownout("b", 25*time.Second, 0, 0.5),
+	}}
+	if got := pl.FirstStart(); got != 10*time.Second {
+		t.Errorf("FirstStart = %v, want 10s", got)
+	}
+	if got := pl.LastEnd(); got != 25*time.Second {
+		t.Errorf("LastEnd = %v, want the latest start 25s", got)
+	}
+	// A never-reverting event starting after every other end dominates.
+	mixed := Plan{Events: []Event{
+		Crash("a", 5*time.Second, 20*time.Second),
+		Crash("b", 30*time.Second, 0),
+	}}
+	if got := mixed.LastEnd(); got != 30*time.Second {
+		t.Errorf("LastEnd = %v, want 30s from the End==0 event", got)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	pl := Plan{
+		JitterFrac: 0.25,
+		Events: []Event{
+			Crash("tomcat1", 10*time.Second, 40*time.Second),
+			Brownout("cjdbc1", 5*time.Second, 0, 0.3),
+			NetSpike("link", 3*time.Second, 9*time.Second, 1500*time.Microsecond),
+			ConnLeak("tomcat1/conns", 7*time.Second, 0, 4),
+		},
+	}
+	data, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"crash"`, `"brownout"`, `"netspike"`, `"connleak"`, `"tomcat1/conns"`, `"1.5ms"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("plan JSON missing %s:\n%s", want, data)
+		}
+	}
+	back, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pl, back) {
+		t.Errorf("round trip changed the plan:\n%+v\n%+v", pl, back)
+	}
+}
+
+// Loading validates: a structurally well-formed JSON plan with invalid
+// semantics must be rejected at parse time.
+func TestParsePlanValidates(t *testing.T) {
+	cases := []string{
+		`{"events":[{"kind":"crash","target":"x","start":"-1s"}]}`,
+		`{"events":[{"kind":"crash","target":"x","start":"2s","end":"1s"}]}`,
+		`{"events":[{"kind":"connleak","target":"x","start":"0s"}]}`,
+		`{"events":[{"kind":"meteor","target":"x","start":"0s"}]}`,
+		`{"events":[{"kind":"crash","target":"x","start":"bogus"}]}`,
+		`{"events":[],"jitter_frac":1.5}`,
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan([]byte(c)); err == nil {
+			t.Errorf("ParsePlan accepted %s", c)
+		}
 	}
 }
 

@@ -47,6 +47,15 @@ func (d *Disk) BusyIntegral() float64 { return d.queue.BusyIntegral() }
 // ResetStats starts a new measurement interval.
 func (d *Disk) ResetStats() { d.queue.ResetStats() }
 
+// Audit delegates to the underlying transfer queue's invariant audit;
+// quiescent requires the device idle (see resource.Pool.AuditQuiescent).
+func (d *Disk) Audit(quiescent bool) error {
+	if quiescent {
+		return d.queue.AuditQuiescent()
+	}
+	return d.queue.Audit()
+}
+
 // AttachDisk adds a disk to the node (idempotent) and returns it.
 func (n *Node) AttachDisk() *Disk {
 	if n.disk == nil {

@@ -87,6 +87,25 @@ func (n *Node) ResetStats() {
 	}
 }
 
+// Audit runs the node's hardware invariant checks (CPU and, when attached,
+// the disk queue); quiescent additionally requires both devices idle with
+// full speed restored. Pure read — part of the chaos oracle.
+func (n *Node) Audit(quiescent bool) error {
+	audit := func() error {
+		if quiescent {
+			return n.cpu.AuditQuiescent()
+		}
+		return n.cpu.Audit()
+	}
+	if err := audit(); err != nil {
+		return err
+	}
+	if n.disk != nil {
+		return n.disk.Audit(quiescent)
+	}
+	return nil
+}
+
 // Utilization returns mean total CPU utilization (capped at 1) since the
 // last reset.
 func (n *Node) Utilization() float64 {

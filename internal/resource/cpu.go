@@ -260,6 +260,50 @@ func (c *CPU) BusyIntegral() float64 {
 	return c.busyIntegral + busy
 }
 
+// cpuAuditSlack absorbs float64 rounding in the busy-integral bound: the
+// integral is a sum of dt*rate products whose error grows with event
+// count, so the capacity comparison needs a small relative tolerance.
+const cpuAuditSlack = 1e-6
+
+// Audit checks the CPU's conservation invariants: non-negative integrals,
+// delivered work within the capacity bound (busy core-seconds can never
+// exceed cores x elapsed), stall time within wall time, and the job heap
+// ordered. Pure read, run by the chaos oracle after every trial.
+func (c *CPU) Audit() error {
+	if c.busyIntegral < 0 || c.stallBusy < 0 || c.workDone < 0 {
+		return fmt.Errorf("resource: cpu %q accumulated negative statistics", c.name)
+	}
+	busy, stall := c.pending()
+	elapsed := (c.env.Now() - c.statsStart).Seconds()
+	if bound := float64(c.cores) * elapsed; c.busyIntegral+busy > bound*(1+cpuAuditSlack)+cpuAuditSlack {
+		return fmt.Errorf("resource: cpu %q delivered %.6f core-seconds in a %.6f core-second interval", c.name, c.busyIntegral+busy, bound)
+	}
+	if total := c.stallBusy + stall; total > c.env.Now()-c.statsStart {
+		return fmt.Errorf("resource: cpu %q stalled %v in a %v interval", c.name, total, c.env.Now()-c.statsStart)
+	}
+	for i := 1; i < len(c.jobs); i++ {
+		if c.jobs[i].finishV < c.jobs[(i-1)/2].finishV {
+			return fmt.Errorf("resource: cpu %q job heap out of order at %d", c.name, i)
+		}
+	}
+	return nil
+}
+
+// AuditQuiescent is Audit plus the post-drain checks: no job on the
+// processor and full speed restored (every brown-out reverted).
+func (c *CPU) AuditQuiescent() error {
+	if err := c.Audit(); err != nil {
+		return err
+	}
+	if n := len(c.jobs); n != 0 {
+		return fmt.Errorf("resource: cpu %q not quiescent (%d jobs active)", c.name, n)
+	}
+	if c.speed != 1 {
+		return fmt.Errorf("resource: cpu %q speed %v after reverts, want 1", c.name, c.speed)
+	}
+	return nil
+}
+
 // jobHeap is a binary min-heap of jobs by value, ordered by finish virtual
 // time.
 type jobHeap []cpuJob

@@ -465,3 +465,53 @@ func (pl *Pool) BusyIntegral() float64 {
 	_, busy, _, _ := pl.pending()
 	return pl.busyIntegral + busy
 }
+
+// Audit checks the pool's conservation invariants: every counter
+// non-negative, leaked units covered by in-use units, waits covered by
+// grants, and the occupancy histogram accounting for every nanosecond
+// since the last stats reset (the integration in account is exact integer
+// arithmetic, so the check is an equality, not a tolerance). Pure read,
+// cheap enough for the chaos oracle to run after every trial.
+func (pl *Pool) Audit() error {
+	switch {
+	case pl.inUse < 0:
+		return fmt.Errorf("resource: pool %q has %d units in use", pl.name, pl.inUse)
+	case pl.leaked < 0 || pl.leakPending < 0:
+		return fmt.Errorf("resource: pool %q leak counters negative (leaked=%d pending=%d)", pl.name, pl.leaked, pl.leakPending)
+	case pl.leaked > pl.inUse:
+		return fmt.Errorf("resource: pool %q leaked %d units but only %d in use", pl.name, pl.leaked, pl.inUse)
+	case pl.busyIntegral < 0 || pl.totalWait < 0 || pl.satTime < 0 || pl.fullTime < 0:
+		return fmt.Errorf("resource: pool %q accumulated negative statistics", pl.name)
+	case pl.waited > pl.grants:
+		return fmt.Errorf("resource: pool %q waited %d times over %d grants", pl.name, pl.waited, pl.grants)
+	}
+	var sum time.Duration
+	for level, d := range pl.occTime {
+		if d < 0 {
+			return fmt.Errorf("resource: pool %q spent %v at occupancy %d", pl.name, d, level)
+		}
+		sum += d
+	}
+	sum += pl.env.Now() - pl.lastChange // un-integrated tail (see pending)
+	if elapsed := pl.env.Now() - pl.statsStart; sum != elapsed {
+		return fmt.Errorf("resource: pool %q occupancy histogram sums to %v over a %v interval", pl.name, sum, elapsed)
+	}
+	return nil
+}
+
+// AuditQuiescent is Audit plus the post-drain checks the chaos oracle runs
+// once every fault has reverted and the workload has drained: no unit held,
+// no waiter parked, and no leak outstanding — the pool's full capacity is
+// back in service.
+func (pl *Pool) AuditQuiescent() error {
+	if err := pl.Audit(); err != nil {
+		return err
+	}
+	if pl.leaked != 0 || pl.leakPending != 0 {
+		return fmt.Errorf("resource: pool %q still leaking after reverts (leaked=%d pending=%d)", pl.name, pl.leaked, pl.leakPending)
+	}
+	if pl.inUse != 0 || pl.Queued() != 0 {
+		return fmt.Errorf("resource: pool %q not quiescent (inUse=%d queued=%d)", pl.name, pl.inUse, pl.Queued())
+	}
+	return nil
+}

@@ -68,6 +68,12 @@ type Workload struct {
 	failed    uint64
 	shed      uint64
 	late      uint64
+
+	// stopped makes sessions (and the open-workload arrival pump) exit at
+	// their next issue point instead of looping forever, so a trial can
+	// drain to zero requests in flight — the precondition for the chaos
+	// conservation audit. Set via Stop between Run calls.
+	stopped bool
 }
 
 // UsersPerNode returns the emulated-user count per client node, the load
@@ -111,6 +117,56 @@ func (w *Workload) Shed() uint64 { return w.shed }
 // end-to-end deadline (0 unless an open workload sets OpenConfig.Deadline).
 func (w *Workload) Late() uint64 { return w.late }
 
+// InFlight returns the number of issued requests not yet resolved as
+// completed, failed, or shed — the quantity that must reach zero after a
+// stopped workload drains.
+func (w *Workload) InFlight() int {
+	return int(w.issued - w.completed - w.failed - w.shed)
+}
+
+// Stop makes every session exit at its next issue point (after the current
+// think or request) and stops the open-workload arrival pump, so the run
+// drains instead of offering load forever. Call it between Env.Run calls;
+// it takes effect deterministically on the simulated clock.
+func (w *Workload) Stop() { w.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (w *Workload) Stopped() bool { return w.stopped }
+
+// Audit checks request conservation: every issued request is completed,
+// failed, shed, or still in flight — never double-counted, never lost —
+// and the derived counters stay within their parents (abandonments and
+// late finishes are completions). Pure read; the chaos oracle calls it
+// both mid-run and after drain.
+func (w *Workload) Audit() error {
+	if done := w.completed + w.failed + w.shed; done > w.issued {
+		return fmt.Errorf("rubbos: %d requests resolved of %d issued", done, w.issued)
+	}
+	if w.abandoned > w.completed {
+		return fmt.Errorf("rubbos: %d abandonments over %d completions", w.abandoned, w.completed)
+	}
+	if w.late > w.completed {
+		return fmt.Errorf("rubbos: %d late responses over %d completions", w.late, w.completed)
+	}
+	return nil
+}
+
+// AuditQuiescent is Audit plus the post-drain requirement: the workload
+// was stopped and no request remains in flight, closing the conservation
+// law issued == completed + failed + shed exactly.
+func (w *Workload) AuditQuiescent() error {
+	if err := w.Audit(); err != nil {
+		return err
+	}
+	if !w.stopped {
+		return fmt.Errorf("rubbos: quiescent audit on a workload that was never stopped")
+	}
+	if n := w.InFlight(); n != 0 {
+		return fmt.Errorf("rubbos: %d requests still in flight after drain", n)
+	}
+	return nil
+}
+
 // Start launches cfg.Users session processes against target. Each session
 // loops forever: think, issue the current interaction, record the response
 // time, pick the next interaction from the navigation matrix. Sessions stop
@@ -148,6 +204,9 @@ func Start(env *des.Env, cfg ClientConfig, table *Table, target Target, collect 
 			think := cfg.ThinkMean
 			for {
 				p.Sleep(time.Duration(r.Exp(float64(think))))
+				if w.stopped {
+					return
+				}
 				think = cfg.ThinkMean
 				it := &w.table.Items[state]
 				issued := p.Now()

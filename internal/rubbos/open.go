@@ -93,6 +93,9 @@ func StartOpen(env *des.Env, cfg OpenConfig, table *Table, target Target, collec
 	idx := len(gaps)
 	var pump *des.Timer
 	pump = env.NewTimer(func() {
+		if w.stopped {
+			return // drain: no further arrivals, no re-arm
+		}
 		it := &w.table.Items[state]
 		state = cfg.Matrix.Next(nav, state)
 		issued := env.Now()

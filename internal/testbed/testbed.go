@@ -260,6 +260,9 @@ func (tb *Testbed) StartOpenWorkload(cfg rubbos.OpenConfig, collect rubbos.Colle
 	tb.Env.Go("fin-load", func(p *des.Proc) {
 		for {
 			p.Sleep(finLoadInterval)
+			if w.Stopped() {
+				return // let a draining trial reach zero live processes
+			}
 			done := w.Completed()
 			rate := float64(done-prev) / finLoadInterval.Seconds()
 			prev = done
@@ -316,3 +319,35 @@ func (tb *Testbed) ResetStats() {
 
 // Close unwinds all simulation processes; the testbed is unusable after.
 func (tb *Testbed) Close() { tb.Env.Shutdown() }
+
+// Audit runs every component's invariant audit — the DES scheduler, each
+// node's hardware, and each server's bookkeeping — and returns all
+// violations found (nil when clean). With quiescent=true the deployment
+// must additionally be fully recovered and drained: pools empty and
+// leak-free, CPUs idle at full speed, crash flags cleared, no worker
+// parked. Pure read; the chaos oracle calls it once per trial.
+func (tb *Testbed) Audit(quiescent bool) []error {
+	var errs []error
+	add := func(err error) {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	add(tb.Env.Audit())
+	for _, n := range tb.Nodes() {
+		add(n.Audit(quiescent))
+	}
+	for _, a := range tb.Apaches {
+		add(a.Audit(quiescent))
+	}
+	for _, t := range tb.Tomcats {
+		add(t.Audit(quiescent))
+	}
+	for _, c := range tb.CJDBCs {
+		add(c.Audit(quiescent))
+	}
+	for _, m := range tb.MySQLs {
+		add(m.Audit(quiescent))
+	}
+	return errs
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/softres/ntier/internal/adaptive"
+	"github.com/softres/ntier/internal/chaos"
 	"github.com/softres/ntier/internal/core"
 	"github.com/softres/ntier/internal/experiment"
 	"github.com/softres/ntier/internal/fault"
@@ -411,3 +412,50 @@ func CalibrateSurrogate(res *Result) (*MVASurrogate, error) { return search.Cali
 // SearchTotalUnits is the search's cost axis: total resident pool units of
 // an allocation across the hardware.
 func SearchTotalUnits(hw Hardware, soft SoftAlloc) int { return search.TotalUnits(hw, soft) }
+
+// Chaos campaigns (see cmd/ntier-chaos and EXPERIMENTS.md): seeded fault
+// fuzzing over the full topology surface, judged by conservation
+// invariants and a recovery oracle, with failing plans shrunk to minimal
+// reproducers.
+type (
+	// ChaosTrialConfig describes one judged chaos trial: topology,
+	// workload, measurement timeline, and oracle tolerances.
+	ChaosTrialConfig = chaos.TrialConfig
+	// ChaosVerdict is a judged trial: failure class, oracle violations,
+	// and baseline/recovery window statistics.
+	ChaosVerdict = chaos.Verdict
+	// ChaosWindowStats summarizes one measurement window.
+	ChaosWindowStats = chaos.WindowStats
+	// ChaosTargetSet is the discovered fault surface of a topology.
+	ChaosTargetSet = chaos.TargetSet
+	// ChaosGenConfig configures the seeded fault-plan fuzzer.
+	ChaosGenConfig = chaos.GenConfig
+	// ChaosCampaignConfig describes a seeds × plans fuzzing campaign.
+	ChaosCampaignConfig = chaos.CampaignConfig
+	// ChaosOutcome is one campaign trial: plan, verdict, and (for
+	// failures) the minimized reproducer.
+	ChaosOutcome = chaos.Outcome
+	// ChaosShrinkResult is a minimized plan with its final verdict.
+	ChaosShrinkResult = chaos.ShrinkResult
+)
+
+// RunChaosTrial executes one fault plan through a full judged trial.
+func RunChaosTrial(cfg ChaosTrialConfig, plan FaultPlan) (*ChaosVerdict, error) {
+	return chaos.RunTrial(cfg, plan)
+}
+
+// RunChaosCampaign fuzzes Seeds × PlansPerSeed fault plans, shrinking
+// every failure to a minimal reproducer.
+func RunChaosCampaign(cfg ChaosCampaignConfig) ([]ChaosOutcome, error) {
+	return chaos.RunCampaign(cfg)
+}
+
+// DiscoverChaosTargets builds a throwaway testbed and extracts its fault
+// surface (crashable nodes, CPUs, pools, links).
+func DiscoverChaosTargets(opts TestbedOptions) (ChaosTargetSet, error) { return chaos.Discover(opts) }
+
+// ShrinkPlan minimizes a failing fault plan delta-debugging style while
+// the run function keeps reproducing the same failure class.
+func ShrinkPlan(plan FaultPlan, class string, budget int, run func(FaultPlan) (*ChaosVerdict, error)) (ChaosShrinkResult, error) {
+	return chaos.Shrink(plan, class, budget, run)
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/softres/ntier/internal/des"
 	"github.com/softres/ntier/internal/testbed"
 	"github.com/softres/ntier/internal/tier"
 )
@@ -111,6 +112,12 @@ type Controller struct {
 	windows   []window
 	decisions []Decision
 	stopped   bool
+
+	// The pending sample/control events, retained so Stop can cancel them
+	// in the DES instead of leaving orphaned callbacks that fire forever
+	// against a bare flag.
+	sampleEv  des.Event
+	controlEv des.Event
 }
 
 // window accumulates one control period's samples for one server.
@@ -135,14 +142,20 @@ func Attach(tb *testbed.Testbed, cfg Config) *Controller {
 	return c
 }
 
-// Stop halts future control actions.
-func (c *Controller) Stop() { c.stopped = true }
+// Stop halts the controller: both pending events are canceled in the DES,
+// so no sample or control callback fires after Stop returns. Stopping an
+// already-stopped controller is a no-op.
+func (c *Controller) Stop() {
+	c.stopped = true
+	c.sampleEv.Cancel()
+	c.controlEv.Cancel()
+}
 
 // Decisions returns the resize actions taken so far.
 func (c *Controller) Decisions() []Decision { return c.decisions }
 
 func (c *Controller) scheduleSample() {
-	c.tb.Env.After(c.cfg.SampleEvery, func() {
+	c.sampleEv = c.tb.Env.After(c.cfg.SampleEvery, func() {
 		if c.stopped {
 			return
 		}
@@ -162,7 +175,7 @@ func (c *Controller) scheduleSample() {
 }
 
 func (c *Controller) scheduleControl() {
-	c.tb.Env.After(c.cfg.Interval, func() {
+	c.controlEv = c.tb.Env.After(c.cfg.Interval, func() {
 		if c.stopped {
 			return
 		}

@@ -1,0 +1,696 @@
+// Elastic reallocation: a policy-driven controller that resizes every soft
+// pool in the topology mid-run under a total-units budget — the online
+// counterpart of the paper's offline Algorithm 1, for the regime the paper
+// leaves open: traffic that shifts faster than an offline recalibration.
+// Where the basic Controller (adaptive.go) governs only the Tomcat thread
+// pools, the elastic controller moves units between the Apache worker pool,
+// the Tomcat servlet threads, and the Tomcat→C-JDBC connection pools (whose
+// resident middleware threads — the §III-B over-allocation cost — track
+// every resize), trading them off under one budget.
+
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/obs"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// Policy names an elastic reallocation policy.
+type Policy string
+
+// The built-in policies.
+const (
+	// PolicyStatic is the no-op baseline: no controller runs, the build-time
+	// allocation holds for the whole trace.
+	PolicyStatic Policy = "STATIC"
+	// PolicyUniform splits the budget evenly across the three pool axes and
+	// rebalances toward that split every interval.
+	PolicyUniform Policy = "UNIFORM"
+	// PolicyTopJob grows the pool axis behind the obs bottleneck verdict
+	// (most saturated pool, ties to the downstream-most — the pool the
+	// paper's Algorithm 1 would grow) and shrinks axes that idle far below
+	// their capacity.
+	PolicyTopJob Policy = "TOP_JOB"
+	// PolicySoftmax apportions the budget across axes by softmax-weighted
+	// marginal-goodput estimates from the calibrated MVA surrogate.
+	PolicySoftmax Policy = "SOFTMAX"
+)
+
+// ParsePolicy resolves a policy name (case-insensitive).
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(strings.ToUpper(strings.TrimSpace(s))); p {
+	case PolicyStatic, PolicyUniform, PolicyTopJob, PolicySoftmax:
+		return p, nil
+	default:
+		return "", fmt.Errorf("adaptive: unknown policy %q (want STATIC, UNIFORM, TOP_JOB, or SOFTMAX)", s)
+	}
+}
+
+// The three pool axes an allocation moves units between. Axis order is tier
+// order (web upstream, connections downstream-most), which decision logs
+// and arbitration iterate in.
+type axis int
+
+const (
+	axisWeb  axis = iota // Apache worker pools (per web server)
+	axisApp              // Tomcat servlet thread pools (per app server)
+	axisConn             // Tomcat DB connection pools (per app server)
+	numAxes
+)
+
+var axisNames = [numAxes]string{"web-threads", "app-threads", "app-conns"}
+
+// ElasticConfig tunes the elastic controller. Zero values take defaults.
+type ElasticConfig struct {
+	// Policy selects the decision rule (required; STATIC is rejected —
+	// simply do not attach a controller for the static baseline).
+	Policy Policy
+
+	// Interval is the control period (default 20s); SampleEvery the pool
+	// sampling grid within it (default 1s).
+	Interval    time.Duration
+	SampleEvery time.Duration
+
+	// Budget caps the total soft-resource units (sum of all pool
+	// capacities across servers; default: the units of the build-time
+	// allocation). The controller never allocates past it.
+	Budget int
+
+	// MaxStep bounds the per-server capacity change of one axis per
+	// interval (default 16) — the rate limiter that keeps a misjudged
+	// verdict from doubling a pool in one step.
+	MaxStep int
+	// Deadband is the hysteresis floor: per-server deltas smaller than
+	// this are ignored (default 2), so the controller does not thrash
+	// around a target.
+	Deadband int
+	// Cooldown is the minimum time between two resizes of the same axis
+	// (default 2×Interval).
+	Cooldown time.Duration
+
+	// MinPer/MaxPer bound every per-server pool capacity (defaults 2/2048).
+	MinPer int
+	MaxPer int
+
+	// GrowFactor multiplies a bottlenecked axis's capacity under TOP_JOB
+	// (default 1.5, the basic controller's law). ShrinkMargin leaves
+	// headroom over the observed peak occupancy when shrinking (default
+	// 1.25); shrinking triggers only when capacity exceeds ShrinkTrigger
+	// times the peak (default 2).
+	GrowFactor    float64
+	ShrinkMargin  float64
+	ShrinkTrigger float64
+
+	// Judge holds the bottleneck-verdict thresholds TOP_JOB consumes
+	// (zero values take the obs defaults).
+	Judge obs.JudgeConfig
+
+	// Goodput estimates an allocation's goodput at a closed-equivalent
+	// population — SOFTMAX's marginal-gain oracle, typically a calibrated
+	// search.Surrogate behind a closure. Required for SOFTMAX.
+	Goodput func(soft testbed.SoftAlloc, users int) (float64, error)
+	// UsersAt maps simulated time to the closed-equivalent population the
+	// Goodput oracle is queried at — typically the arrival schedule's
+	// known rate converted through rubbos.OpenEquivUsers. Required for
+	// SOFTMAX.
+	UsersAt func(at time.Duration) int
+	// Temperature is the softmax temperature in goodput units (default 5
+	// req/s): smaller values concentrate the budget on the best axis.
+	Temperature float64
+}
+
+func (c *ElasticConfig) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Second
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = time.Second
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 16
+	}
+	if c.Deadband <= 0 {
+		c.Deadband = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	if c.MinPer <= 0 {
+		c.MinPer = 2
+	}
+	if c.MaxPer <= 0 {
+		c.MaxPer = 2048
+	}
+	if c.GrowFactor <= 1 {
+		c.GrowFactor = 1.5
+	}
+	if c.ShrinkMargin <= 1 {
+		c.ShrinkMargin = 1.25
+	}
+	if c.ShrinkTrigger <= 1 {
+		c.ShrinkTrigger = 2
+	}
+	if c.Temperature <= 0 {
+		c.Temperature = 5
+	}
+}
+
+// ElasticDecision records one applied axis resize.
+type ElasticDecision struct {
+	At     time.Duration `json:"at"`
+	Policy Policy        `json:"policy"`
+	Axis   string        `json:"axis"`
+	From   int           `json:"from"`  // per-server capacity before
+	To     int           `json:"to"`    // per-server capacity after
+	Units  int           `json:"units"` // total allocated units after
+	Reason string        `json:"reason"`
+}
+
+// String renders one decision-log line.
+func (d ElasticDecision) String() string {
+	return fmt.Sprintf("%10v %-7s %-11s %4d -> %4d  units %4d  (%s)",
+		d.At.Round(time.Millisecond), d.Policy, d.Axis, d.From, d.To, d.Units, d.Reason)
+}
+
+// FormatDecisions renders the decision log one line per decision. The
+// output is a pure function of the decision slice, so identical runs (and
+// journal-restored trials) produce byte-identical logs.
+func FormatDecisions(ds []ElasticDecision) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ctlPool is one governed pool with its axis and tier attribution.
+type ctlPool struct {
+	pl   *resource.Pool
+	ax   axis
+	tier string
+}
+
+// ctlNode is one hardware observation point for the windowed verdict.
+type ctlNode struct {
+	name  string
+	tier  string
+	cores float64
+	busy  func() float64 // cumulative CPU busy integral (incl. GC)
+	gc    func() float64 // cumulative GC time integral (nil: no JVM)
+	disk  func() float64 // cumulative disk busy integral (nil: no disk)
+}
+
+// elasticWindow accumulates one control period's observations.
+type elasticWindow struct {
+	samples  int
+	sat      []int // per pool: samples with the pool full and queued
+	peak     []int // per pool: peak occupancy observed
+	poolBusy []float64
+	nodeBusy []float64
+	nodeGC   []float64
+	nodeDisk []float64
+}
+
+// ElasticController reallocates every soft pool of one testbed under a
+// total-units budget.
+type ElasticController struct {
+	cfg    ElasticConfig
+	tb     *testbed.Testbed
+	soft   testbed.SoftAlloc
+	budget int
+
+	pools []ctlPool
+	nodes []ctlNode
+	win   elasticWindow
+
+	lastAct   [numAxes]time.Duration
+	acted     [numAxes]bool
+	decisions []ElasticDecision
+
+	sampleEv  des.Event
+	controlEv des.Event
+	stopped   bool
+}
+
+// AttachElastic starts the elastic controller on a freshly built testbed.
+// It must be called before the simulation runs the period it should govern.
+func AttachElastic(tb *testbed.Testbed, cfg ElasticConfig) (*ElasticController, error) {
+	cfg.applyDefaults()
+	switch cfg.Policy {
+	case PolicyUniform, PolicyTopJob:
+	case PolicySoftmax:
+		if cfg.Goodput == nil || cfg.UsersAt == nil {
+			return nil, fmt.Errorf("adaptive: SOFTMAX needs both Goodput and UsersAt oracles")
+		}
+	case PolicyStatic:
+		return nil, fmt.Errorf("adaptive: STATIC is the no-controller baseline; do not attach")
+	default:
+		return nil, fmt.Errorf("adaptive: unknown policy %q", cfg.Policy)
+	}
+
+	c := &ElasticController{cfg: cfg, tb: tb, soft: tb.Opts.Soft}
+	if c.budget = cfg.Budget; c.budget <= 0 {
+		c.budget = c.unitsOf(c.soft)
+	}
+
+	for _, a := range tb.Apaches {
+		c.pools = append(c.pools, ctlPool{pl: a.Workers, ax: axisWeb, tier: "apache"})
+	}
+	for _, t := range tb.Tomcats {
+		c.pools = append(c.pools, ctlPool{pl: t.Threads, ax: axisApp, tier: "tomcat"})
+	}
+	for _, t := range tb.Tomcats {
+		c.pools = append(c.pools, ctlPool{pl: t.Conns, ax: axisConn, tier: "tomcat"})
+	}
+	for _, a := range tb.Apaches {
+		node := a.Node
+		c.nodes = append(c.nodes, ctlNode{name: node.Name(), tier: "apache",
+			cores: float64(node.Spec().Cores), busy: node.BusyIntegral})
+	}
+	for _, t := range tb.Tomcats {
+		node, jvm := t.Node, t.JVM
+		c.nodes = append(c.nodes, ctlNode{name: node.Name(), tier: "tomcat",
+			cores: float64(node.Spec().Cores), busy: node.BusyIntegral, gc: jvm.GCTimeIntegral})
+	}
+	for _, cj := range tb.CJDBCs {
+		node, jvm := cj.Node, cj.JVM
+		c.nodes = append(c.nodes, ctlNode{name: node.Name(), tier: "cjdbc",
+			cores: float64(node.Spec().Cores), busy: node.BusyIntegral, gc: jvm.GCTimeIntegral})
+	}
+	for _, m := range tb.MySQLs {
+		node := m.Node
+		cn := ctlNode{name: node.Name(), tier: "mysql",
+			cores: float64(node.Spec().Cores), busy: node.BusyIntegral}
+		if d := node.Disk(); d != nil {
+			cn.disk = d.BusyIntegral
+		}
+		c.nodes = append(c.nodes, cn)
+	}
+
+	c.win = elasticWindow{
+		sat:      make([]int, len(c.pools)),
+		peak:     make([]int, len(c.pools)),
+		poolBusy: make([]float64, len(c.pools)),
+		nodeBusy: make([]float64, len(c.nodes)),
+		nodeGC:   make([]float64, len(c.nodes)),
+		nodeDisk: make([]float64, len(c.nodes)),
+	}
+	c.resetWindow()
+	c.scheduleSample()
+	c.scheduleControl()
+	return c, nil
+}
+
+// Stop halts the controller, canceling both pending events in the DES so no
+// callback fires after it returns.
+func (c *ElasticController) Stop() {
+	c.stopped = true
+	c.sampleEv.Cancel()
+	c.controlEv.Cancel()
+}
+
+// Decisions returns the resize actions applied so far.
+func (c *ElasticController) Decisions() []ElasticDecision { return c.decisions }
+
+// Soft returns the current (live) allocation.
+func (c *ElasticController) Soft() testbed.SoftAlloc { return c.soft }
+
+// Units returns the currently allocated total units.
+func (c *ElasticController) Units() int { return c.unitsOf(c.soft) }
+
+// Budget returns the effective total-units budget.
+func (c *ElasticController) Budget() int { return c.budget }
+
+func (c *ElasticController) unitsOf(s testbed.SoftAlloc) int {
+	hw := c.tb.Opts.Hardware
+	return hw.Web*s.WebThreads + hw.App*(s.AppThreads+s.AppConns)
+}
+
+// servers returns how many per-server pools an axis spans.
+func (c *ElasticController) servers(ax axis) int {
+	if ax == axisWeb {
+		return c.tb.Opts.Hardware.Web
+	}
+	return c.tb.Opts.Hardware.App
+}
+
+func axisGet(s testbed.SoftAlloc, ax axis) int {
+	switch ax {
+	case axisWeb:
+		return s.WebThreads
+	case axisApp:
+		return s.AppThreads
+	default:
+		return s.AppConns
+	}
+}
+
+func axisSet(s *testbed.SoftAlloc, ax axis, v int) {
+	switch ax {
+	case axisWeb:
+		s.WebThreads = v
+	case axisApp:
+		s.AppThreads = v
+	default:
+		s.AppConns = v
+	}
+}
+
+// resetWindow re-baselines every cumulative integral and zeroes the counts.
+func (c *ElasticController) resetWindow() {
+	w := &c.win
+	w.samples = 0
+	for i, p := range c.pools {
+		w.sat[i] = 0
+		w.peak[i] = p.pl.InUse()
+		w.poolBusy[i] = p.pl.BusyIntegral()
+	}
+	for i, n := range c.nodes {
+		w.nodeBusy[i] = n.busy()
+		if n.gc != nil {
+			w.nodeGC[i] = n.gc()
+		}
+		if n.disk != nil {
+			w.nodeDisk[i] = n.disk()
+		}
+	}
+}
+
+func (c *ElasticController) scheduleSample() {
+	c.sampleEv = c.tb.Env.After(c.cfg.SampleEvery, func() {
+		if c.stopped {
+			return
+		}
+		w := &c.win
+		w.samples++
+		for i, p := range c.pools {
+			inUse := p.pl.InUse()
+			if inUse > w.peak[i] {
+				w.peak[i] = inUse
+			}
+			if inUse >= p.pl.Capacity() && p.pl.Queued() > 0 {
+				w.sat[i]++
+			}
+		}
+		c.scheduleSample()
+	})
+}
+
+func (c *ElasticController) scheduleControl() {
+	c.controlEv = c.tb.Env.After(c.cfg.Interval, func() {
+		if c.stopped {
+			return
+		}
+		c.control()
+		c.scheduleControl()
+	})
+}
+
+// summarize reduces the window to the analyzer's per-trial aggregate. ok is
+// false when a monitor reset (the ramp-end ResetStats) shrank an integral
+// mid-window, making the observations unusable.
+func (c *ElasticController) summarize() (obs.TrialSummary, bool) {
+	w := &c.win
+	secs := c.cfg.Interval.Seconds()
+	s := obs.TrialSummary{SLASeconds: c.cfg.Judge.SoftSaturation}
+	for i, n := range c.nodes {
+		busy := n.busy()
+		if busy < w.nodeBusy[i] {
+			return s, false
+		}
+		util := (busy - w.nodeBusy[i]) / secs / n.cores
+		if util > 1 {
+			util = 1
+		}
+		gc := 0.0
+		if n.gc != nil {
+			if g := n.gc(); g >= w.nodeGC[i] {
+				gc = (g - w.nodeGC[i]) / secs
+			}
+		}
+		s.Hardware = append(s.Hardware, obs.HWResource{
+			Server: n.name, Tier: n.tier, Resource: "CPU", Util: util, GCShare: gc,
+		})
+		if n.disk != nil {
+			if d := n.disk(); d >= w.nodeDisk[i] {
+				du := (d - w.nodeDisk[i]) / secs
+				if du > 1 {
+					du = 1
+				}
+				s.Hardware = append(s.Hardware, obs.HWResource{
+					Server: n.name, Tier: n.tier, Resource: "disk", Util: du,
+				})
+			}
+		}
+	}
+	for i, p := range c.pools {
+		busy := p.pl.BusyIntegral()
+		if busy < w.poolBusy[i] {
+			return s, false
+		}
+		cap := p.pl.Capacity()
+		util := (busy - w.poolBusy[i]) / secs / float64(cap)
+		s.Soft = append(s.Soft, obs.SoftResource{
+			Name: p.pl.Name(), Tier: p.tier, Capacity: cap,
+			Util:      util,
+			Saturated: float64(w.sat[i]) / float64(w.samples),
+			MaxQueue:  p.pl.Queued(),
+		})
+	}
+	return s, true
+}
+
+// peakPer returns an axis's peak per-server occupancy over the window.
+func (c *ElasticController) peakPer(ax axis) int {
+	peak := 0
+	for i, p := range c.pools {
+		if p.ax == ax && c.win.peak[i] > peak {
+			peak = c.win.peak[i]
+		}
+	}
+	return peak
+}
+
+// axisOf maps a pool name to its axis by path suffix.
+func axisOf(name string) (axis, bool) {
+	switch {
+	case strings.HasSuffix(name, "/workers"):
+		return axisWeb, true
+	case strings.HasSuffix(name, "/threads"):
+		return axisApp, true
+	case strings.HasSuffix(name, "/conns"):
+		return axisConn, true
+	}
+	return 0, false
+}
+
+// control runs one policy step and resets the window.
+func (c *ElasticController) control() {
+	defer c.resetWindow()
+	if c.win.samples == 0 {
+		return
+	}
+	summary, ok := c.summarize()
+	if !ok {
+		return // monitor reset mid-window: observations unusable
+	}
+	verdict := obs.Judge(summary, c.cfg.Judge)
+
+	var targets [numAxes]int
+	var reasons [numAxes]string
+	for ax := range targets {
+		targets[ax] = -1
+	}
+	switch c.cfg.Policy {
+	case PolicyUniform:
+		c.planUniform(&targets, &reasons)
+	case PolicyTopJob:
+		c.planTopJob(verdict, &targets, &reasons)
+	case PolicySoftmax:
+		c.planSoftmax(&targets, &reasons)
+	}
+	c.applyTargets(targets, reasons)
+}
+
+// planUniform rebalances toward an even three-way budget split.
+func (c *ElasticController) planUniform(targets *[numAxes]int, reasons *[numAxes]string) {
+	share := c.budget / int(numAxes)
+	for ax := axisWeb; ax < numAxes; ax++ {
+		targets[ax] = share / c.servers(ax)
+		reasons[ax] = fmt.Sprintf("uniform share %d units", share)
+	}
+}
+
+// planTopJob grows the axis behind the bottleneck verdict and shrinks axes
+// idling far below capacity. When the budget is exhausted, the most
+// over-provisioned other axis donates units in the same step.
+func (c *ElasticController) planTopJob(v obs.Verdict, targets *[numAxes]int, reasons *[numAxes]string) {
+	if v.SoftLimited() {
+		// Blame the most saturated pool; ties go to the downstream-most
+		// (the cascade's root cause — the pool Algorithm 1 would grow).
+		blame := v.SaturatedSoft[0]
+		for _, q := range v.SaturatedSoft[1:] {
+			if q.Saturated >= blame.Saturated {
+				blame = q
+			}
+		}
+		ax, ok := axisOf(blame.Name)
+		if !ok {
+			return
+		}
+		cur := axisGet(c.soft, ax)
+		targets[ax] = int(float64(cur)*c.cfg.GrowFactor) + 1
+		reasons[ax] = fmt.Sprintf("soft-bottleneck %s sat %.0f%%", blame.Name, blame.Saturated*100)
+
+		// Donate from the most over-provisioned other axis if growth would
+		// blow the budget.
+		grown := c.soft
+		axisSet(&grown, ax, targets[ax])
+		if c.unitsOf(grown) > c.budget {
+			donor, headroom := axis(-1), 0
+			for d := axisWeb; d < numAxes; d++ {
+				if d == ax {
+					continue
+				}
+				if h := axisGet(c.soft, d) - c.peakPer(d); h > headroom {
+					donor, headroom = d, h
+				}
+			}
+			if donor >= 0 {
+				targets[donor] = int(float64(c.peakPer(donor))*c.cfg.ShrinkMargin) + 1
+				reasons[donor] = fmt.Sprintf("donate to %s", axisNames[ax])
+			}
+		}
+		return
+	}
+	// No soft bottleneck: release what the window did not use, following
+	// the load back down (and shedding the §III-B GC cost of idle pools).
+	for ax := axisWeb; ax < numAxes; ax++ {
+		cur, peak := axisGet(c.soft, ax), c.peakPer(ax)
+		if float64(cur) > c.cfg.ShrinkTrigger*float64(peak) {
+			targets[ax] = int(float64(peak)*c.cfg.ShrinkMargin) + 1
+			why := "idle"
+			if v.HardwareLimited() {
+				why = v.SaturatedHW[0].String()
+			}
+			reasons[ax] = fmt.Sprintf("over-allocation (%s, peak %d)", why, peak)
+		}
+	}
+}
+
+// planSoftmax apportions the budget by softmax-weighted marginal goodput.
+func (c *ElasticController) planSoftmax(targets *[numAxes]int, reasons *[numAxes]string) {
+	users := c.cfg.UsersAt(c.tb.Env.Now())
+	if users <= 0 {
+		return
+	}
+	base, err := c.cfg.Goodput(c.soft, users)
+	if err != nil {
+		return
+	}
+	var gains [numAxes]float64
+	for ax := axisWeb; ax < numAxes; ax++ {
+		probe := c.soft
+		grown := axisGet(probe, ax) + c.cfg.MaxStep
+		if grown > c.cfg.MaxPer {
+			grown = c.cfg.MaxPer
+		}
+		axisSet(&probe, ax, grown)
+		g, err := c.cfg.Goodput(probe, users)
+		if err != nil {
+			return
+		}
+		gains[ax] = g - base
+	}
+	var sum float64
+	var weights [numAxes]float64
+	for ax := axisWeb; ax < numAxes; ax++ {
+		weights[ax] = math.Exp(gains[ax] / c.cfg.Temperature)
+		sum += weights[ax]
+	}
+	for ax := axisWeb; ax < numAxes; ax++ {
+		w := weights[ax] / sum
+		targets[ax] = int(w*float64(c.budget)) / c.servers(ax)
+		reasons[ax] = fmt.Sprintf("softmax w=%.2f gain=%+.1f req/s @%d users", w, gains[ax], users)
+	}
+}
+
+// applyTargets arbitrates the policy's desired per-server capacities
+// against the rate limit, hysteresis deadband, per-axis cooldown, bounds,
+// and the budget, then applies the surviving resizes in one live step.
+// Shrinks are applied before grows so freed units fund same-step growth.
+func (c *ElasticController) applyTargets(targets [numAxes]int, reasons [numAxes]string) {
+	now := c.tb.Env.Now()
+	next := c.soft
+	var pending []ElasticDecision
+
+	step := func(ax axis, wantShrink bool) {
+		t := targets[ax]
+		if t < 0 {
+			return
+		}
+		cur := axisGet(next, ax)
+		if t < c.cfg.MinPer {
+			t = c.cfg.MinPer
+		}
+		if t > c.cfg.MaxPer {
+			t = c.cfg.MaxPer
+		}
+		delta := t - cur
+		if wantShrink != (delta < 0) {
+			return
+		}
+		if delta > c.cfg.MaxStep {
+			delta = c.cfg.MaxStep
+		}
+		if delta < -c.cfg.MaxStep {
+			delta = -c.cfg.MaxStep
+		}
+		if delta > -c.cfg.Deadband && delta < c.cfg.Deadband {
+			return // hysteresis: too small to act on
+		}
+		if c.acted[ax] && now-c.lastAct[ax] < c.cfg.Cooldown {
+			return // cooldown: this axis moved too recently
+		}
+		to := cur + delta
+		trial := next
+		axisSet(&trial, ax, to)
+		if over := c.unitsOf(trial) - c.budget; over > 0 {
+			// Trim the growth to what the budget still covers.
+			to -= (over + c.servers(ax) - 1) / c.servers(ax)
+			if to-cur < c.cfg.Deadband {
+				return
+			}
+			axisSet(&trial, ax, to)
+		}
+		next = trial
+		pending = append(pending, ElasticDecision{
+			At: now, Policy: c.cfg.Policy, Axis: axisNames[ax],
+			From: cur, To: to, Units: c.unitsOf(next), Reason: reasons[ax],
+		})
+		c.lastAct[ax], c.acted[ax] = now, true
+	}
+
+	for ax := axisWeb; ax < numAxes; ax++ {
+		step(ax, true)
+	}
+	for ax := axisWeb; ax < numAxes; ax++ {
+		step(ax, false)
+	}
+	if next == c.soft {
+		return
+	}
+	if err := c.tb.ApplySoft(next); err != nil {
+		return // clamps keep allocations valid; never applies partially
+	}
+	c.soft = next
+	c.decisions = append(c.decisions, pending...)
+}

@@ -1,0 +1,242 @@
+package adaptive
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/testbed"
+)
+
+// buildTB builds the standard 1/2/1/2 topology with the given allocation.
+func buildTB(t *testing.T, soft testbed.SoftAlloc, seed uint64) *testbed.Testbed {
+	t.Helper()
+	tb, err := testbed.Build(testbed.Options{
+		Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+		Soft:     soft,
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"static": PolicyStatic, "UNIFORM": PolicyUniform,
+		" top_job ": PolicyTopJob, "Softmax": PolicySoftmax,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("greedy"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestAttachElasticValidation(t *testing.T) {
+	tb := buildTB(t, testbed.SoftAlloc{WebThreads: 60, AppThreads: 4, AppConns: 4}, 1)
+	if _, err := AttachElastic(tb, ElasticConfig{Policy: PolicyStatic}); err == nil {
+		t.Error("STATIC must be rejected (it is the no-controller baseline)")
+	}
+	if _, err := AttachElastic(tb, ElasticConfig{Policy: PolicySoftmax}); err == nil {
+		t.Error("SOFTMAX without oracles must be rejected")
+	}
+	if _, err := AttachElastic(tb, ElasticConfig{Policy: "GREEDY"}); err == nil {
+		t.Error("unknown policy must be rejected")
+	}
+}
+
+// TestStopCancelsPendingEvents is the regression test for the Stop fix:
+// stopping a controller must cancel its scheduled sample/control events in
+// the DES — not merely set a flag that leaves orphaned callbacks firing
+// forever.
+func TestStopCancelsPendingEvents(t *testing.T) {
+	tb := buildTB(t, testbed.SoftAlloc{WebThreads: 400, AppThreads: 4, AppConns: 20}, 3)
+	ctl := Attach(tb, Config{})
+	before := tb.Env.Pending()
+	ctl.Stop()
+	if got := tb.Env.Pending(); got != before-2 {
+		t.Errorf("Stop left events pending: %d -> %d, want %d", before, got, before-2)
+	}
+	ctl.Stop() // idempotent
+	if got := tb.Env.Pending(); got != before-2 {
+		t.Errorf("second Stop changed pending events: %d", got)
+	}
+}
+
+func TestElasticStopCancelsPendingEvents(t *testing.T) {
+	tb := buildTB(t, testbed.SoftAlloc{WebThreads: 400, AppThreads: 4, AppConns: 20}, 3)
+	ctl, err := AttachElastic(tb, ElasticConfig{Policy: PolicyTopJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Env.Pending()
+	ctl.Stop()
+	if got := tb.Env.Pending(); got != before-2 {
+		t.Errorf("Stop left events pending: %d -> %d, want %d", before, got, before-2)
+	}
+	// Advancing the simulation past several control periods after Stop must
+	// produce no decisions and no resizes.
+	cap0 := tb.Tomcats[0].Threads.Capacity()
+	tb.Env.Run(5 * time.Minute)
+	if len(ctl.Decisions()) != 0 {
+		t.Errorf("stopped controller decided: %v", ctl.Decisions())
+	}
+	if got := tb.Tomcats[0].Threads.Capacity(); got != cap0 {
+		t.Errorf("stopped controller resized: %d -> %d", cap0, got)
+	}
+}
+
+// runElastic drives a closed workload under one policy and returns the
+// controller.
+func runElastic(t *testing.T, cfg ElasticConfig, soft testbed.SoftAlloc, users int, horizon time.Duration) (*ElasticController, *testbed.Testbed) {
+	t.Helper()
+	tb := buildTB(t, soft, 23)
+	ctl, err := AttachElastic(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := rubbos.DefaultClientConfig(users)
+	ccfg.RampUp = 10 * time.Second
+	if _, err := tb.StartWorkload(ccfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Env.Run(horizon)
+	return ctl, tb
+}
+
+func TestElasticGrowsBottleneckAxis(t *testing.T) {
+	// Three servlet threads per Tomcat under 5000 users is the §III-A soft
+	// bottleneck; TOP_JOB must blame the threads axis and grow it — and
+	// since the start sits exactly at the budget, a donor axis must fund
+	// the growth in the same step.
+	ctl, tb := runElastic(t, ElasticConfig{Policy: PolicyTopJob, Interval: 10 * time.Second},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 3, AppConns: 20}, 5000, 2*time.Minute)
+	grew, donated := false, false
+	for _, d := range ctl.Decisions() {
+		if d.Axis == "app-threads" && d.To > d.From && strings.HasPrefix(d.Reason, "soft-bottleneck") {
+			grew = true
+		}
+		if d.To < d.From && strings.HasPrefix(d.Reason, "donate to") {
+			donated = true
+		}
+	}
+	if !grew {
+		t.Fatalf("TOP_JOB never grew the bottlenecked threads axis:\n%s", FormatDecisions(ctl.Decisions()))
+	}
+	if !donated {
+		t.Errorf("growth at the budget limit without a donor shrink:\n%s", FormatDecisions(ctl.Decisions()))
+	}
+	if got := tb.Tomcats[0].Threads.Capacity(); got <= 3 {
+		t.Errorf("final threads capacity %d, want grown", got)
+	}
+}
+
+func TestElasticShrinksIdleAllocation(t *testing.T) {
+	ctl, _ := runElastic(t, ElasticConfig{Policy: PolicyTopJob, Interval: 10 * time.Second},
+		testbed.SoftAlloc{WebThreads: 400, AppThreads: 100, AppConns: 50}, 300, 2*time.Minute)
+	shrank := false
+	for _, d := range ctl.Decisions() {
+		if d.To < d.From && strings.HasPrefix(d.Reason, "over-allocation") {
+			shrank = true
+		}
+	}
+	if !shrank {
+		t.Fatalf("TOP_JOB never released an idle over-allocation:\n%s", FormatDecisions(ctl.Decisions()))
+	}
+	if ctl.Units() >= ctl.Budget() {
+		t.Errorf("units %d did not drop below the budget %d", ctl.Units(), ctl.Budget())
+	}
+}
+
+func TestElasticRespectsBudgetAndCooldown(t *testing.T) {
+	cfg := ElasticConfig{Policy: PolicyUniform, Interval: 10 * time.Second, Cooldown: 25 * time.Second}
+	ctl, _ := runElastic(t, cfg,
+		testbed.SoftAlloc{WebThreads: 300, AppThreads: 10, AppConns: 10}, 2000, 3*time.Minute)
+	if len(ctl.Decisions()) == 0 {
+		t.Fatal("UNIFORM took no rebalancing action on a lopsided allocation")
+	}
+	last := map[string]time.Duration{}
+	for _, d := range ctl.Decisions() {
+		if d.Units > ctl.Budget() {
+			t.Errorf("decision exceeded the budget %d: %v", ctl.Budget(), d)
+		}
+		if prev, ok := last[d.Axis]; ok && d.At-prev < cfg.Cooldown {
+			t.Errorf("axis %s resized %v after %v, inside the %v cooldown",
+				d.Axis, d.At, prev, cfg.Cooldown)
+		}
+		last[d.Axis] = d.At
+	}
+}
+
+func TestElasticDeterministicDecisionLog(t *testing.T) {
+	run := func() string {
+		ctl, _ := runElastic(t, ElasticConfig{Policy: PolicyTopJob, Interval: 10 * time.Second},
+			testbed.SoftAlloc{WebThreads: 400, AppThreads: 3, AppConns: 20}, 5000, 90*time.Second)
+		return FormatDecisions(ctl.Decisions())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different decision logs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Error("expected a non-empty decision log")
+	}
+}
+
+func TestElasticResizeTracksTestbed(t *testing.T) {
+	// ApplySoft must move every pool of the tier, and SoftUnits must agree
+	// with the controller's accounting.
+	tb := buildTB(t, testbed.SoftAlloc{WebThreads: 60, AppThreads: 4, AppConns: 4}, 7)
+	next := testbed.SoftAlloc{WebThreads: 30, AppThreads: 8, AppConns: 6}
+	if err := tb.ApplySoft(next); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range tb.Apaches {
+		if a.Workers.Capacity() != 30 {
+			t.Errorf("%s capacity %d, want 30", a.Workers.Name(), a.Workers.Capacity())
+		}
+	}
+	for _, tc := range tb.Tomcats {
+		if tc.Threads.Capacity() != 8 || tc.Conns.Capacity() != 6 {
+			t.Errorf("tomcat pools %d/%d, want 8/6", tc.Threads.Capacity(), tc.Conns.Capacity())
+		}
+	}
+	if got, want := tb.SoftUnits(), 1*30+2*(8+6); got != want {
+		t.Errorf("SoftUnits = %d, want %d", got, want)
+	}
+	if err := tb.ApplySoft(testbed.SoftAlloc{WebThreads: 0, AppThreads: 8, AppConns: 6}); err == nil {
+		t.Error("ApplySoft accepted an invalid allocation")
+	}
+}
+
+func TestElasticConfigDefaults(t *testing.T) {
+	var c ElasticConfig
+	c.applyDefaults()
+	if c.Interval != 20*time.Second || c.SampleEvery != time.Second ||
+		c.MaxStep != 16 || c.Deadband != 2 || c.Cooldown != 40*time.Second ||
+		c.MinPer != 2 || c.MaxPer != 2048 || c.GrowFactor != 1.5 ||
+		c.ShrinkMargin != 1.25 || c.ShrinkTrigger != 2 || c.Temperature != 5 {
+		t.Errorf("defaults %+v", c)
+	}
+}
+
+func TestElasticDecisionString(t *testing.T) {
+	d := ElasticDecision{At: 15 * time.Second, Policy: PolicyTopJob, Axis: "app-threads",
+		From: 3, To: 5, Units: 440, Reason: "soft-bottleneck tomcat1/threads sat 100%"}
+	s := d.String()
+	for _, want := range []string{"TOP_JOB", "app-threads", "3", "5", "440", "soft-bottleneck"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("decision string %q missing %q", s, want)
+		}
+	}
+	if got := FormatDecisions([]ElasticDecision{d, d}); got != d.String()+"\n"+d.String()+"\n" {
+		t.Errorf("FormatDecisions = %q", got)
+	}
+}

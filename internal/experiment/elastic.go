@@ -1,0 +1,516 @@
+package experiment
+
+// Elastic experiments: open-system trials over day-shaped traffic traces
+// with a live reallocation policy (internal/adaptive) resizing every soft
+// pool mid-run. ElasticSweep crosses policies with traces — including the
+// STATIC baseline, which holds the build-time allocation — and scores each
+// cell on goodput per soft-resource-unit, the efficiency metric under which
+// an elastic policy must beat the best static allocation to earn its keep.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/softres/ntier/internal/adaptive"
+	"github.com/softres/ntier/internal/obs"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/sla"
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/tier"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// ElasticTrace is one named traffic trace of the sweep grid.
+type ElasticTrace struct {
+	Name string
+	Spec trace.ArrivalSpec
+}
+
+// ElasticSweepConfig describes an elastic-vs-static campaign.
+type ElasticSweepConfig struct {
+	// Run is the base trial: topology, protocol, thresholds, state/obs
+	// wiring. Run.Arrivals is ignored (set per trace).
+	Run RunConfig
+
+	// Controller carries the shared policy knobs; Policy is overridden per
+	// grid point. When Controller.UsersAt is nil it is wired from each
+	// trace's known schedule (SOFTMAX needs it).
+	Controller adaptive.ElasticConfig
+
+	// Policies and Traces span the grid. PolicyStatic runs with no
+	// controller attached.
+	Policies []adaptive.Policy
+	Traces   []ElasticTrace
+
+	// Window is the timeline bucket width (default 10s).
+	Window time.Duration
+	// GoodputThreshold classifies a response as goodput (default 1s).
+	GoodputThreshold time.Duration
+}
+
+func (c *ElasticSweepConfig) applyDefaults() {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.GoodputThreshold <= 0 {
+		c.GoodputThreshold = time.Second
+	}
+	c.Run.applyDefaults()
+}
+
+// ElasticPoint is one timeline bucket of an elastic trial, bucketed by
+// completion time from the start of the measurement window.
+type ElasticPoint struct {
+	Second    float64 `json:"second"`
+	Completed int     `json:"completed"`
+	Goodput   float64 `json:"goodput"` // in-threshold successes per second
+	Errors    int     `json:"errors"`
+	Shed      int     `json:"shed"`
+	Late      int     `json:"late"`
+	Units     int     `json:"units"` // allocated soft units at bucket start
+}
+
+// ElasticResult is the outcome of one (policy, trace) trial. It is the
+// journaled payload: a resumed sweep restores it verbatim, so the decision
+// log is byte-identical across resumes.
+type ElasticResult struct {
+	Policy adaptive.Policy `json:"policy"`
+	Trace  string          `json:"trace"`
+
+	Throughput float64 `json:"throughput"` // completions/s over the window
+	Goodput    float64 `json:"goodput"`    // in-threshold successes/s
+	Errors     uint64  `json:"errors"`
+	Shed       uint64  `json:"shed"`
+	Late       uint64  `json:"late"`
+
+	// MeanUnits is the time-averaged allocated soft units over the
+	// measurement window (exact: integrated from the decision log), and
+	// GoodputPerUnit the efficiency score Goodput/MeanUnits.
+	MeanUnits      float64 `json:"mean_units"`
+	GoodputPerUnit float64 `json:"goodput_per_unit"`
+
+	Decisions   []adaptive.ElasticDecision `json:"decisions,omitempty"`
+	DecisionLog string                     `json:"decision_log,omitempty"`
+
+	Timeline []ElasticPoint `json:"timeline,omitempty"`
+}
+
+// Describe summarizes the trial in one line.
+func (r *ElasticResult) Describe() string {
+	return fmt.Sprintf("%-8s %-8s goodput %7.1f req/s  mean units %6.1f  goodput/unit %.4f  decisions %d",
+		r.Policy, r.Trace, r.Goodput, r.MeanUnits, r.GoodputPerUnit, len(r.Decisions))
+}
+
+// WriteTimelineCSV writes the per-window series, including the allocation
+// timeline.
+func (r *ElasticResult) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"second", "completed", "goodput", "errors", "shed", "late", "units"}); err != nil {
+		return err
+	}
+	for _, pt := range r.Timeline {
+		row := []string{
+			fmt.Sprintf("%.0f", pt.Second),
+			strconv.Itoa(pt.Completed),
+			fmt.Sprintf("%.2f", pt.Goodput),
+			strconv.Itoa(pt.Errors),
+			strconv.Itoa(pt.Shed),
+			strconv.Itoa(pt.Late),
+			strconv.Itoa(pt.Units),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ElasticOutcome is the full sweep grid, policy-major.
+type ElasticOutcome struct {
+	Policies []adaptive.Policy
+	Traces   []string
+	Results  []*ElasticResult // index = policy*len(Traces) + trace
+}
+
+// Result returns the grid cell, or nil.
+func (o *ElasticOutcome) Result(p adaptive.Policy, trace string) *ElasticResult {
+	for pi, pol := range o.Policies {
+		if pol != p {
+			continue
+		}
+		for ti, tr := range o.Traces {
+			if tr == trace {
+				return o.Results[pi*len(o.Traces)+ti]
+			}
+		}
+	}
+	return nil
+}
+
+// Best returns the trace's highest-efficiency cell (goodput per unit).
+func (o *ElasticOutcome) Best(trace string) *ElasticResult {
+	var best *ElasticResult
+	for _, r := range o.Results {
+		if r == nil || r.Trace != trace {
+			continue
+		}
+		if best == nil || r.GoodputPerUnit > best.GoodputPerUnit {
+			best = r
+		}
+	}
+	return best
+}
+
+// WriteCSV writes the sweep summary table.
+func (o *ElasticOutcome) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "policy", "throughput", "goodput",
+		"errors", "shed", "late", "mean_units", "goodput_per_unit", "decisions"}); err != nil {
+		return err
+	}
+	for _, r := range o.Results {
+		if r == nil {
+			continue
+		}
+		row := []string{
+			r.Trace, string(r.Policy),
+			fmt.Sprintf("%.2f", r.Throughput),
+			fmt.Sprintf("%.2f", r.Goodput),
+			strconv.FormatUint(r.Errors, 10),
+			strconv.FormatUint(r.Shed, 10),
+			strconv.FormatUint(r.Late, 10),
+			fmt.Sprintf("%.2f", r.MeanUnits),
+			fmt.Sprintf("%.4f", r.GoodputPerUnit),
+			strconv.Itoa(len(r.Decisions)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// UsersAtFor derives the closed-equivalent population oracle from a trace
+// whose schedule is known in advance (nil when it is not): piecewise rates
+// map through the open/closed equivalence, a hidden-state MMPP falls back
+// to its stationary mean rate.
+func UsersAtFor(spec trace.ArrivalSpec) func(time.Duration) int {
+	switch s := spec.(type) {
+	case trace.PoissonSpec:
+		return func(time.Duration) int { return int(rubbos.OpenEquivUsers(s.Rate)) }
+	case trace.ScheduleSpec:
+		return func(at time.Duration) int { return int(rubbos.OpenEquivUsers(s.RateAt(at))) }
+	case trace.MMPPSpec:
+		num, den := 0.0, 0.0
+		for _, st := range s.States {
+			num += st.Rate * st.Mean.Seconds()
+			den += st.Mean.Seconds()
+		}
+		if den <= 0 {
+			return nil
+		}
+		mean := num / den
+		return func(time.Duration) int { return int(rubbos.OpenEquivUsers(mean)) }
+	}
+	return nil
+}
+
+// unitsOver integrates the piecewise-constant allocated units over [from,
+// to) from the initial allocation and the decision log, returning the
+// time-weighted mean. Exact, not sampled: the decision log is the complete
+// record of every capacity step.
+func unitsOver(initial int, ds []adaptive.ElasticDecision, from, to time.Duration) float64 {
+	if to <= from {
+		return float64(initial)
+	}
+	integral, cur, at := 0.0, initial, from
+	for _, d := range ds {
+		if d.At <= from {
+			cur = d.Units
+			continue
+		}
+		if d.At >= to {
+			break
+		}
+		integral += float64(cur) * (d.At - at).Seconds()
+		cur, at = d.Units, d.At
+	}
+	integral += float64(cur) * (to - at).Seconds()
+	return integral / (to - from).Seconds()
+}
+
+// unitsAt returns the allocated units at one instant.
+func unitsAt(initial int, ds []adaptive.ElasticDecision, at time.Duration) int {
+	cur := initial
+	for _, d := range ds {
+		if d.At > at {
+			break
+		}
+		cur = d.Units
+	}
+	return cur
+}
+
+// RunElastic executes one elastic trial: drive the testbed with the trace's
+// arrival process, let the policy resize pools live (none for STATIC), and
+// report the windowed timeline, the decision log, and the efficiency score.
+// Deterministic: a re-run with the same config reproduces the identical
+// timeline and a byte-identical decision log.
+func RunElastic(cfg ElasticSweepConfig, policy adaptive.Policy, tr ElasticTrace) (res *ElasticResult, err error) {
+	cfg.applyDefaults()
+	if tr.Spec == nil {
+		return nil, fmt.Errorf("experiment: elastic trace %q has no arrival spec", tr.Name)
+	}
+	if cerr := ctxErr(cfg.Run.Ctx); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError(r)
+		}
+	}()
+	tb, err := testbed.Build(cfg.Run.Testbed)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	dog := startWatchdog(cfg.Run, tb.Env)
+	defer dog.stop()
+
+	measureStart := cfg.Run.RampUp
+	horizon := cfg.Run.RampUp + cfg.Run.Measure
+	windows := int((cfg.Run.Measure + cfg.Window - 1) / cfg.Window)
+
+	var ctl *adaptive.ElasticController
+	if policy != adaptive.PolicyStatic {
+		ccfg := cfg.Controller
+		ccfg.Policy = policy
+		if ccfg.UsersAt == nil {
+			ccfg.UsersAt = UsersAtFor(tr.Spec)
+		}
+		if ctl, err = adaptive.AttachElastic(tb, ccfg); err != nil {
+			return nil, err
+		}
+	}
+
+	collector := sla.NewCollector(cfg.Run.Thresholds)
+	var errCount uint64
+	points := make([]ElasticPoint, windows)
+	for i := range points {
+		points[i].Second = float64(i) * cfg.Window.Seconds()
+	}
+	bucket := func(done time.Duration) int {
+		if done < measureStart {
+			return -1
+		}
+		i := int((done - measureStart) / cfg.Window)
+		if i >= windows {
+			return -1
+		}
+		return i
+	}
+
+	var rec *obs.Recorder
+	if cfg.Run.ObsDir != "" {
+		rec = obs.Attach(tb, measureStart, cfg.Run.Obs)
+	}
+
+	_, err = tb.StartOpenWorkload(rubbos.OpenConfig{
+		Arrivals:    tr.Spec,
+		ClientNodes: cfg.Run.ClientNodes,
+		Matrix:      cfg.Run.Mix,
+		Seed:        cfg.Run.Testbed.Seed,
+		Deadline:    cfg.Run.Deadline,
+	}, func(it *rubbos.Interaction, issued, rt time.Duration, rerr error) {
+		done := issued + rt
+		shed := false
+		if k, ok := tier.ErrKind(rerr); ok && (k == tier.FailShed || k == tier.FailDeadline) {
+			shed = true
+		}
+		if i := bucket(done); i >= 0 {
+			points[i].Completed++
+			switch {
+			case shed:
+				points[i].Shed++
+			case rerr != nil:
+				points[i].Errors++
+			default:
+				if rt <= cfg.GoodputThreshold {
+					points[i].Goodput += 1 / cfg.Window.Seconds()
+				}
+				if cfg.Run.Deadline > 0 && rt > cfg.Run.Deadline {
+					points[i].Late++
+				}
+			}
+		}
+		if issued < measureStart {
+			return
+		}
+		switch {
+		case shed:
+			collector.ObserveShed()
+		case rerr != nil:
+			errCount++
+		default:
+			collector.Observe(rt)
+			if cfg.Run.Deadline > 0 && rt > cfg.Run.Deadline {
+				collector.ObserveLate()
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb.Env.Run(measureStart)
+	if aerr := trialAborted(cfg.Run, tb.Env); aerr != nil {
+		return nil, aerr
+	}
+	tb.ResetStats()
+	tb.Env.Run(horizon)
+	if aerr := trialAborted(cfg.Run, tb.Env); aerr != nil {
+		return nil, aerr
+	}
+	if ctl != nil {
+		ctl.Stop()
+	}
+
+	collector.SetElapsed(cfg.Run.Measure)
+	initialUnits := unitsOfAlloc(cfg.Run.Testbed.Hardware, cfg.Run.Testbed.Soft)
+	var decisions []adaptive.ElasticDecision
+	if ctl != nil {
+		decisions = ctl.Decisions()
+	}
+	for i := range points {
+		points[i].Units = unitsAt(initialUnits, decisions,
+			measureStart+time.Duration(i)*cfg.Window)
+	}
+
+	res = &ElasticResult{
+		Policy:      policy,
+		Trace:       tr.Name,
+		Throughput:  collector.Throughput(),
+		Goodput:     collector.Goodput(cfg.GoodputThreshold),
+		Errors:      errCount,
+		Shed:        collector.Shed(),
+		Late:        collector.Late(),
+		MeanUnits:   unitsOver(initialUnits, decisions, measureStart, horizon),
+		Decisions:   decisions,
+		DecisionLog: adaptive.FormatDecisions(decisions),
+		Timeline:    points,
+	}
+	if res.MeanUnits > 0 {
+		res.GoodputPerUnit = res.Goodput / res.MeanUnits
+	}
+
+	if rec != nil {
+		// The snapshot's Soft label carries the policy so grid cells do not
+		// collide on the same file name; Workload is the trace's peak-rate
+		// closed equivalent (an open trial has no user population).
+		full := &Result{Config: cfg.Run, SLA: collector, Errors: errCount,
+			Shed: res.Shed, Late: res.Late}
+		full.Config.Users = int(rubbos.OpenEquivUsers(tr.Spec.MaxRate()))
+		full.Apache, full.Tomcat, full.CJDBC, full.MySQL = collectStats(tb)
+		snap := rec.Snapshot(Summarize(full, cfg.GoodputThreshold))
+		snap.Hardware = cfg.Run.Testbed.Hardware.String()
+		snap.Soft = cfg.Run.Testbed.Soft.String() + "-" + strings.ToLower(string(policy))
+		snap.Workload = full.Config.Users
+		snap.Seed = cfg.Run.Testbed.Seed
+		if werr := obs.WriteFile(cfg.Run.ObsDir, snap); werr != nil {
+			return nil, werr
+		}
+	}
+	return res, nil
+}
+
+// unitsOfAlloc is search.TotalUnits without the import cycle: the soft
+// units an allocation costs across the topology.
+func unitsOfAlloc(hw testbed.Hardware, soft testbed.SoftAlloc) int {
+	return hw.Web*soft.WebThreads + hw.App*(soft.AppThreads+soft.AppConns)
+}
+
+// elasticFingerprint pins everything outcome-determining that the base
+// RunConfig fingerprint misses: the grid axes, the controller knobs, and
+// the open-system deadline (base.Arrivals is nil in the base fingerprint).
+func elasticFingerprint(cfg ElasticSweepConfig) []string {
+	c := cfg.Controller
+	parts := []string{fmt.Sprint(cfg.Policies)}
+	for _, tr := range cfg.Traces {
+		parts = append(parts, tr.Name+"="+tr.Spec.String())
+	}
+	parts = append(parts,
+		fmt.Sprintf("ctl=%d/%d/%d/%d/%d/%d/%d/%d/%g/%g/%g/%g",
+			int64(c.Interval), int64(c.SampleEvery), c.Budget, c.MaxStep,
+			c.Deadband, int64(c.Cooldown), c.MinPer, c.MaxPer,
+			c.GrowFactor, c.ShrinkMargin, c.ShrinkTrigger, c.Temperature),
+		fmt.Sprintf("window=%d sla=%d deadline=%d",
+			int64(cfg.Window), int64(cfg.GoodputThreshold), int64(cfg.Run.Deadline)))
+	return parts
+}
+
+// ElasticSweep runs every (policy, trace) grid cell, fanning out, journaling,
+// and resuming like every other campaign: a completed cell is stored as its
+// full ElasticResult and restored verbatim on resume, so resumed decision
+// logs are byte-identical to the original run's.
+func ElasticSweep(cfg ElasticSweepConfig) (*ElasticOutcome, error) {
+	cfg.applyDefaults()
+	if len(cfg.Policies) == 0 || len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("experiment: elastic sweep needs at least one policy and one trace")
+	}
+	out := &ElasticOutcome{
+		Policies: append([]adaptive.Policy(nil), cfg.Policies...),
+		Results:  make([]*ElasticResult, len(cfg.Policies)*len(cfg.Traces)),
+	}
+	for _, tr := range cfg.Traces {
+		out.Traces = append(out.Traces, tr.Name)
+	}
+	j, err := sweepJournal(cfg.Run, "elastic", elasticFingerprint(cfg)...)
+	if err != nil {
+		return nil, err
+	}
+	n := len(cfg.Policies) * len(cfg.Traces)
+	err = ForEachIndexCtx(cfg.Run.Ctx, n, cfg.Run.Parallelism, func(i int) error {
+		pi, ti := i/len(cfg.Traces), i%len(cfg.Traces)
+		policy, tr := cfg.Policies[pi], cfg.Traces[ti]
+		key := fmt.Sprintf("policy=%s trace=%s", policy, tr.Name)
+		if j != nil {
+			if rec, ok := j.Lookup(key); ok && len(rec.Data) > 0 {
+				var r ElasticResult
+				if uerr := json.Unmarshal(rec.Data, &r); uerr != nil {
+					return fmt.Errorf("experiment: elastic journal record %s: %w", key, uerr)
+				}
+				out.Results[i] = &r
+				notifyTrial(cfg.Run, key, true, nil)
+				return nil
+			}
+		}
+		r, rerr := RunElastic(cfg, policy, tr)
+		if rerr != nil {
+			notifyTrial(cfg.Run, key, false, rerr)
+			return fmt.Errorf("experiment: elastic %s: %w", key, rerr)
+		}
+		if j != nil {
+			data, merr := json.Marshal(r)
+			if merr != nil {
+				return fmt.Errorf("experiment: marshal elastic result %s: %w", key, merr)
+			}
+			if jerr := j.Record(&TrialRecord{Key: key, Data: data}); jerr != nil {
+				return jerr
+			}
+		}
+		out.Results[i] = r
+		notifyTrial(cfg.Run, key, false, nil)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

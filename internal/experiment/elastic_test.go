@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/softres/ntier/internal/adaptive"
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/trace"
+)
+
+func TestUnitsOverIntegration(t *testing.T) {
+	ds := []adaptive.ElasticDecision{
+		{At: 10 * time.Second, Units: 80},
+		{At: 30 * time.Second, Units: 40},
+	}
+	// 10s at 100, 20s at 80, 10s at 40 over [0, 40s).
+	got := unitsOver(100, ds, 0, 40*time.Second)
+	want := (10.0*100 + 20.0*80 + 10.0*40) / 40.0
+	if got != want {
+		t.Errorf("unitsOver = %v, want %v", got, want)
+	}
+	// Decisions before the window set the initial level.
+	if got := unitsOver(100, ds, 30*time.Second, 40*time.Second); got != 40 {
+		t.Errorf("unitsOver tail = %v, want 40", got)
+	}
+	if got := unitsAt(100, ds, 5*time.Second); got != 100 {
+		t.Errorf("unitsAt(5s) = %d, want 100", got)
+	}
+	if got := unitsAt(100, ds, 30*time.Second); got != 40 {
+		t.Errorf("unitsAt(30s) = %d, want 40", got)
+	}
+}
+
+func TestUsersAtFor(t *testing.T) {
+	if fn := UsersAtFor(trace.Poisson(100)); fn == nil || fn(0) <= 0 {
+		t.Error("UsersAtFor(poisson) unusable")
+	}
+	sched := trace.Diurnal(30, 90, 8*time.Minute)
+	fn := UsersAtFor(sched)
+	if fn == nil {
+		t.Fatal("UsersAtFor(schedule) = nil")
+	}
+	// The trough population must be well below the midday plateau's.
+	if lo, hi := fn(time.Minute), fn(4*time.Minute); lo <= 0 || hi <= lo {
+		t.Errorf("diurnal users trough %d, plateau %d", lo, hi)
+	}
+	mmpp := trace.MMPP(trace.MMPPState{Rate: 30, Mean: time.Minute},
+		trace.MMPPState{Rate: 90, Mean: time.Minute})
+	if fn := UsersAtFor(mmpp); fn == nil || fn(0) <= 0 {
+		t.Error("UsersAtFor(mmpp) unusable")
+	}
+}
+
+// elasticBase is the small shared config for the elastic trials: the 1/2/1/2
+// topology on a compressed two-minute day.
+func elasticBase(t *testing.T) ElasticSweepConfig {
+	t.Helper()
+	return ElasticSweepConfig{
+		Run: RunConfig{
+			Testbed: testbed.Options{
+				Hardware: testbed.Hardware{Web: 1, App: 2, Mid: 1, DB: 2},
+				Soft:     testbed.SoftAlloc{WebThreads: 60, AppThreads: 4, AppConns: 4},
+				Seed:     23,
+			},
+			RampUp:  10 * time.Second,
+			Measure: 2 * time.Minute,
+		},
+		Controller: adaptive.ElasticConfig{
+			Interval: 15 * time.Second,
+			Cooldown: 30 * time.Second,
+		},
+		Policies: []adaptive.Policy{adaptive.PolicyTopJob},
+		Traces: []ElasticTrace{{
+			Name: "diurnal",
+			Spec: trace.Diurnal(30, 90, 2*time.Minute),
+		}},
+	}
+}
+
+func TestRunElasticDeterministicDecisionLog(t *testing.T) {
+	cfg := elasticBase(t)
+	run := func() *ElasticResult {
+		r, err := RunElastic(cfg, adaptive.PolicyTopJob, cfg.Traces[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.DecisionLog == "" {
+		t.Fatal("expected a non-empty decision log")
+	}
+	if a.DecisionLog != b.DecisionLog {
+		t.Errorf("same config produced different decision logs:\n--- first ---\n%s--- second ---\n%s",
+			a.DecisionLog, b.DecisionLog)
+	}
+	if a.Goodput != b.Goodput || a.MeanUnits != b.MeanUnits {
+		t.Errorf("re-run drifted: goodput %v vs %v, units %v vs %v",
+			a.Goodput, b.Goodput, a.MeanUnits, b.MeanUnits)
+	}
+}
+
+func TestElasticSweepJournalResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	cfg := elasticBase(t)
+	cfg.Policies = []adaptive.Policy{adaptive.PolicyStatic, adaptive.PolicyTopJob}
+
+	st, err := OpenState(dir, "elastic-test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Run.State = st
+	first, err := ElasticSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: every cell must restore from the journal — no simulation —
+	// and the decision logs must be byte-identical to the original run's.
+	st, err = OpenState(dir, "elastic-test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg.Run.State = st
+	restored, ran := 0, 0
+	cfg.Run.OnTrial = func(key string, wasRestored bool, err error) {
+		if err != nil {
+			t.Errorf("trial %s: %v", key, err)
+		}
+		if wasRestored {
+			restored++
+		} else {
+			ran++
+		}
+	}
+	second, err := ElasticSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 || restored != len(first.Results) {
+		t.Errorf("resume ran %d trials and restored %d, want 0 and %d", ran, restored, len(first.Results))
+	}
+	for i, a := range first.Results {
+		b := second.Results[i]
+		if a == nil || b == nil {
+			t.Fatalf("missing result at %d", i)
+		}
+		if a.DecisionLog != b.DecisionLog {
+			t.Errorf("%s/%s: resumed decision log differs:\n--- original ---\n%s--- resumed ---\n%s",
+				a.Policy, a.Trace, a.DecisionLog, b.DecisionLog)
+		}
+		if a.GoodputPerUnit != b.GoodputPerUnit {
+			t.Errorf("%s/%s: resumed efficiency %v, want %v", a.Policy, a.Trace, b.GoodputPerUnit, a.GoodputPerUnit)
+		}
+	}
+	tj := first.Result(adaptive.PolicyTopJob, "diurnal")
+	if tj == nil || len(tj.Decisions) == 0 {
+		t.Error("TOP_JOB cell has no decisions")
+	}
+	if s := first.Result(adaptive.PolicyStatic, "diurnal"); s == nil || len(s.Decisions) != 0 {
+		t.Error("STATIC cell should have no decisions")
+	}
+}

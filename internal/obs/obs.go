@@ -154,13 +154,16 @@ func (r *Recorder) rate(name string, read, norm func() float64, cap1 bool) {
 	r.probes = append(r.probes, &probe{name: name, kind: KindRate, read: read, norm: norm, cap1: cap1})
 }
 
-// pool registers the three standard pool series: occupancy gauge,
-// wait-queue gauge, and windowed utilization.
+// pool registers the four standard pool series: occupancy gauge,
+// wait-queue gauge, windowed utilization, and the capacity gauge — flat for
+// static allocations, a step function under the elastic controller, so
+// reports can render the allocation timeline next to the attribution.
 func (r *Recorder) pool(pl *resource.Pool) {
 	p := pl
 	r.gauge(p.Name()+"/occ", func() float64 { return float64(p.InUse()) })
 	r.gauge(p.Name()+"/queue", func() float64 { return float64(p.Queued()) })
 	r.rate(p.Name()+"/util", p.BusyIntegral, func() float64 { return float64(p.Capacity()) }, true)
+	r.gauge(p.Name()+"/cap", func() float64 { return float64(p.Capacity()) })
 }
 
 // arm schedules the sampling ticks. The baseline tick (offset one

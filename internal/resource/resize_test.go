@@ -73,6 +73,53 @@ func TestResizeShrinkDrains(t *testing.T) {
 	env.Shutdown()
 }
 
+// TestResizeChurnUnderLoad shrinks and grows a pool repeatedly while a
+// steady stream of jobs flows through it — the elastic controller's live
+// resize path. No waiter may be stranded, every job must complete, and the
+// conservation audits must stay clean at every resize boundary and at the
+// quiescent end.
+func TestResizeChurnUnderLoad(t *testing.T) {
+	env := des.NewEnv()
+	pl := NewPool(env, "tp", 8)
+
+	const jobs = 200
+	served := 0
+	for i := 0; i < jobs; i++ {
+		i := i
+		env.At(time.Duration(i)*100*time.Millisecond, func() {
+			env.Go("job", func(p *des.Proc) {
+				pl.Acquire(p)
+				p.Sleep(700 * time.Millisecond)
+				pl.Release()
+				served++
+			})
+		})
+	}
+
+	// Walk the capacity through deep shrinks (far below the in-flight
+	// occupancy) and regrowths on a fixed cadence, auditing at each step.
+	caps := []int{2, 12, 1, 6, 3, 10, 2, 8}
+	for i, c := range caps {
+		c := c
+		env.At(time.Duration(i+1)*2*time.Second, func() {
+			pl.Resize(c)
+			if err := pl.Audit(); err != nil {
+				t.Errorf("audit after Resize(%d): %v", c, err)
+			}
+		})
+	}
+
+	env.Run(10 * time.Minute)
+	if served != jobs {
+		t.Fatalf("served %d of %d jobs: shrink stranded waiters (queued %d, in-use %d)",
+			served, jobs, pl.Queued(), pl.InUse())
+	}
+	if err := pl.AuditQuiescent(); err != nil {
+		t.Errorf("quiescent audit: %v", err)
+	}
+	env.Shutdown()
+}
+
 func TestResizeInvalidPanics(t *testing.T) {
 	env := des.NewEnv()
 	pl := NewPool(env, "tp", 2)

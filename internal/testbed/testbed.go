@@ -172,6 +172,52 @@ func Build(opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// ApplySoft resizes every soft pool of the running deployment to the given
+// allocation — the live-reallocation primitive behind the elastic
+// controller (the dynamic counterpart of the paper's offline Algorithm 1).
+// Growth admits queued waiters immediately; shrinking lets excess holders
+// drain without revoking units or stranding waiters (resource.Pool.Resize).
+// The C-JDBC resident thread count tracks the new upstream connection
+// totals exactly as Build wires them, so the middleware JVM live set — the
+// paper's §III-B over-allocation cost — follows connection-pool resizes.
+// The configured Opts.Soft is left untouched: it remains the build-time
+// (initial) allocation.
+func (tb *Testbed) ApplySoft(soft SoftAlloc) error {
+	if err := soft.Validate(); err != nil {
+		return err
+	}
+	for _, a := range tb.Apaches {
+		a.Workers.Resize(soft.WebThreads)
+	}
+	for _, t := range tb.Tomcats {
+		t.Threads.Resize(soft.AppThreads)
+		t.Conns.Resize(soft.AppConns)
+	}
+	perMid := make([]int, len(tb.CJDBCs))
+	for i := 0; i < len(tb.Tomcats); i++ {
+		perMid[i%len(tb.CJDBCs)] += soft.AppConns
+	}
+	for i, c := range tb.CJDBCs {
+		c.SetUpstreamConns(perMid[i])
+	}
+	return nil
+}
+
+// SoftUnits returns the total soft-resource units currently allocated: the
+// sum of every pool's capacity across the topology (Apache workers, Tomcat
+// threads, Tomcat DB connections). This is the elastic budget's currency
+// and matches search.TotalUnits for a uniform allocation.
+func (tb *Testbed) SoftUnits() int {
+	units := 0
+	for _, a := range tb.Apaches {
+		units += a.Workers.Capacity()
+	}
+	for _, t := range tb.Tomcats {
+		units += t.Threads.Capacity() + t.Conns.Capacity()
+	}
+	return units
+}
+
 // Do implements rubbos.Target, balancing sessions across web servers.
 func (tb *Testbed) Do(p *des.Proc, it *rubbos.Interaction) error {
 	a := tb.Apaches[tb.rr%len(tb.Apaches)]

@@ -183,6 +183,8 @@ type (
 	ArrivalSource = trace.ArrivalSource
 	// ArrivalPhase is one segment of a piecewise arrival schedule.
 	ArrivalPhase = trace.Phase
+	// MMPPState is one state of a Markov-modulated Poisson process.
+	MMPPState = trace.MMPPState
 	// AdmissionConfig tunes the adaptive web-tier admission controller.
 	AdmissionConfig = tier.AdmissionConfig
 	// OverloadCurve is a goodput-vs-offered-rate series.
@@ -412,6 +414,74 @@ func CalibrateSurrogate(res *Result) (*MVASurrogate, error) { return search.Cali
 // SearchTotalUnits is the search's cost axis: total resident pool units of
 // an allocation across the hardware.
 func SearchTotalUnits(hw Hardware, soft SoftAlloc) int { return search.TotalUnits(hw, soft) }
+
+// Elastic reallocation (see cmd/ntier-elastic and ELASTICITY.md): a live
+// policy controller that resizes every soft pool mid-run under a
+// total-units budget, evaluated against the static baseline over day-shaped
+// traffic traces on goodput per soft-resource-unit.
+type (
+	// ElasticPolicy names a reallocation policy (STATIC, UNIFORM, TOP_JOB,
+	// SOFTMAX).
+	ElasticPolicy = adaptive.Policy
+	// ElasticConfig tunes the elastic controller: interval, budget, rate
+	// limit, hysteresis deadband, cooldown, and the policy oracles.
+	ElasticConfig = adaptive.ElasticConfig
+	// ElasticDecision is one applied resize in the decision log.
+	ElasticDecision = adaptive.ElasticDecision
+	// ElasticController is the attached live controller.
+	ElasticController = adaptive.ElasticController
+	// ElasticTrace is one named traffic trace of a sweep grid.
+	ElasticTrace = experiment.ElasticTrace
+	// ElasticSweepConfig describes an elastic-vs-static campaign.
+	ElasticSweepConfig = experiment.ElasticSweepConfig
+	// ElasticResult is one (policy, trace) trial outcome.
+	ElasticResult = experiment.ElasticResult
+	// ElasticOutcome is the full policy x trace grid.
+	ElasticOutcome = experiment.ElasticOutcome
+	// ElasticPoint is one timeline bucket of an elastic trial.
+	ElasticPoint = experiment.ElasticPoint
+)
+
+// The built-in elastic policies.
+const (
+	ElasticStatic  = adaptive.PolicyStatic
+	ElasticUniform = adaptive.PolicyUniform
+	ElasticTopJob  = adaptive.PolicyTopJob
+	ElasticSoftmax = adaptive.PolicySoftmax
+)
+
+// ParseElasticPolicy resolves a policy name (case-insensitive).
+func ParseElasticPolicy(s string) (ElasticPolicy, error) { return adaptive.ParsePolicy(s) }
+
+// AttachElastic starts the elastic controller on a freshly built testbed.
+func AttachElastic(tb *testbed.Testbed, cfg ElasticConfig) (*ElasticController, error) {
+	return adaptive.AttachElastic(tb, cfg)
+}
+
+// FormatElasticDecisions renders a decision log, one line per decision.
+func FormatElasticDecisions(ds []ElasticDecision) string { return adaptive.FormatDecisions(ds) }
+
+// RunElastic executes one elastic trial.
+func RunElastic(cfg ElasticSweepConfig, policy ElasticPolicy, tr ElasticTrace) (*ElasticResult, error) {
+	return experiment.RunElastic(cfg, policy, tr)
+}
+
+// ElasticSweep runs the policy x trace grid, journaled and resumable.
+func ElasticSweep(cfg ElasticSweepConfig) (*ElasticOutcome, error) {
+	return experiment.ElasticSweep(cfg)
+}
+
+// ElasticUsersAtFor derives SOFTMAX's closed-equivalent population oracle
+// from a trace whose schedule is known in advance (nil when it is not).
+func ElasticUsersAtFor(spec ArrivalSpec) func(time.Duration) int {
+	return experiment.UsersAtFor(spec)
+}
+
+// DiurnalArrivals is a day-shaped rate profile: night trough, morning ramp,
+// midday plateau, evening descent.
+func DiurnalArrivals(low, high float64, day time.Duration) ArrivalSpec {
+	return trace.Diurnal(low, high, day)
+}
 
 // Chaos campaigns (see cmd/ntier-chaos and EXPERIMENTS.md): seeded fault
 // fuzzing over the full topology surface, judged by conservation

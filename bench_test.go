@@ -493,3 +493,37 @@ func BenchmarkSearch(b *testing.B) {
 		b.ReportMetric(float64(out.Trials), "trials")
 	}
 }
+
+// BenchmarkFleetSweep — the multi-tenant consolidation racer: the 3-tenant
+// noisy-neighbor roster (a soft-over-allocated hot tenant between two light
+// ones) on an 8-node pool, swept across all three placements. Reported
+// metrics: tenants meeting their SLO under PACKED vs GREEDY (expected
+// shape: GREEDY keeps all 3, density-first PACKED loses the co-located
+// victim) and GREEDY's fleet goodput per node.
+func BenchmarkFleetSweep(b *testing.B) {
+	hw := Hardware{Web: 1, App: 1, Mid: 1, DB: 1}
+	light := SoftAlloc{WebThreads: 60, AppThreads: 4, AppConns: 4}
+	for i := 0; i < b.N; i++ {
+		out, err := FleetSweep(FleetSweepConfig{
+			Run: RunConfig{RampUp: 15 * time.Second, Measure: 30 * time.Second},
+			Fleet: FleetOptions{
+				Nodes: 8, SlotsPerNode: 2, Seed: 1,
+				Tenants: []FleetTenantSpec{
+					{Name: "vic", Hardware: hw, Soft: light, Users: 400},
+					{Name: "aggr", Hardware: hw,
+						Soft:  SoftAlloc{WebThreads: 300, AppThreads: 30, AppConns: 20},
+						Users: 3000},
+					{Name: "vic2", Hardware: hw, Soft: light, Users: 400},
+				},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		packed := out.Result(FleetPacked, 3, 1)
+		greedy := out.Result(FleetGreedy, 3, 1)
+		b.ReportMetric(float64(packed.SLOAttained()), "packedSLOMet")
+		b.ReportMetric(float64(greedy.SLOAttained()), "greedySLOMet")
+		b.ReportMetric(greedy.GoodputPerNode, "greedyGoodputPerNode")
+	}
+}

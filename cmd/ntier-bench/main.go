@@ -5,6 +5,13 @@
 //
 //	go test -bench=. -benchtime=1x -run '^$' . | ntier-bench > BENCH_$(date +%F).json
 //
+// With -merge, a partial run (say, one new benchmark) folds into an
+// existing snapshot instead of replacing it: matching names are updated in
+// place, new names append, and the rest of the baseline is preserved —
+//
+//	go test -bench=FleetSweep -benchtime=1x -run '^$' . | \
+//	  ntier-bench -merge BENCH_2026-08-08.json > BENCH_2026-08-08.json.new
+//
 // The input is the standard benchmark text format: one line per benchmark
 // with an iteration count, ns/op, and any custom b.ReportMetric pairs.
 // Non-benchmark lines (goos/goarch/pkg/cpu headers, PASS/ok trailers) are
@@ -17,6 +24,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -45,10 +53,16 @@ type Snapshot struct {
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(in io.Reader, stdout, stderr io.Writer) int {
+func run(args []string, in io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mergePath := fs.String("merge", "", "fold the new results into this existing BENCH_*.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	snap, err := parse(in)
 	if err != nil {
 		fmt.Fprintf(stderr, "ntier-bench: %v\n", err)
@@ -58,6 +72,14 @@ func run(in io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ntier-bench: no benchmark lines on stdin (run `go test -bench=. -benchtime=1x -run '^$' .`)")
 		return 1
 	}
+	if *mergePath != "" {
+		base, merr := readSnapshot(*mergePath)
+		if merr != nil {
+			fmt.Fprintf(stderr, "ntier-bench: -merge: %v\n", merr)
+			return 1
+		}
+		snap = merge(base, snap)
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
@@ -65,6 +87,53 @@ func run(in io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// readSnapshot loads an existing BENCH_*.json document.
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, nil
+}
+
+// merge folds fresh results into a baseline snapshot: benchmarks sharing a
+// name are replaced in place (baseline order preserved), unseen ones
+// append in run order, and environment metadata comes from the fresh run
+// where it reported any.
+func merge(base, fresh *Snapshot) *Snapshot {
+	out := *base
+	out.GoVersion = fresh.GoVersion
+	for _, f := range []struct {
+		dst *string
+		v   string
+	}{
+		{&out.GOOS, fresh.GOOS}, {&out.GOARCH, fresh.GOARCH},
+		{&out.CPU, fresh.CPU}, {&out.Package, fresh.Package},
+	} {
+		if f.v != "" {
+			*f.dst = f.v
+		}
+	}
+	out.Benchmarks = append([]Bench(nil), base.Benchmarks...)
+	at := make(map[string]int, len(out.Benchmarks))
+	for i, b := range out.Benchmarks {
+		at[b.Name] = i
+	}
+	for _, b := range fresh.Benchmarks {
+		if i, ok := at[b.Name]; ok {
+			out.Benchmarks[i] = b
+			continue
+		}
+		at[b.Name] = len(out.Benchmarks)
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return &out
 }
 
 func parse(in io.Reader) (*Snapshot, error) {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,7 +47,7 @@ func TestParseBenchOutput(t *testing.T) {
 
 func TestRunEmitsJSON(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr %s", code, errb.String())
 	}
 	var snap Snapshot
@@ -59,7 +61,63 @@ func TestRunEmitsJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(strings.NewReader("PASS\n"), &out, &errb); code == 0 {
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &errb); code == 0 {
 		t.Error("empty benchmark input accepted")
+	}
+}
+
+// -merge folds a partial run into an existing snapshot: matching names
+// update in place, new names append, untouched baseline entries survive.
+func TestRunMergeFoldsIntoBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("baseline exit %d, stderr %s", code, errb.String())
+	}
+	if err := os.WriteFile(base, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	update := `goos: linux
+BenchmarkSearch-8        1   99 ns/op   5.000 trials
+BenchmarkFleetSweep-8    1   42 ns/op   3.000 slo_met
+`
+	out.Reset()
+	if code := run([]string{"-merge", base}, strings.NewReader(update), &out, &errb); code != 0 {
+		t.Fatalf("merge exit %d, stderr %s", code, errb.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("merged snapshot has %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	// Baseline order preserved, matching entry replaced, new one appended.
+	if snap.Benchmarks[0].Name != "BenchmarkFig2Goodput112" || snap.Benchmarks[0].NsPerOp != 2512345678 {
+		t.Errorf("untouched baseline entry changed: %+v", snap.Benchmarks[0])
+	}
+	if s := snap.Benchmarks[1]; s.Name != "BenchmarkSearch" || s.NsPerOp != 99 || s.Metrics["trials"] != 5 {
+		t.Errorf("matching entry not updated in place: %+v", s)
+	}
+	if f := snap.Benchmarks[2]; f.Name != "BenchmarkFleetSweep" || f.Metrics["slo_met"] != 3 {
+		t.Errorf("new entry not appended: %+v", f)
+	}
+	// Environment metadata: fresh values win, missing ones fall back.
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.CPU == "" {
+		t.Errorf("merged metadata wrong: %+v", snap)
+	}
+}
+
+func TestRunMergeMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-merge", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sample), &out, &errb)
+	if code == 0 {
+		t.Error("missing -merge target accepted")
+	}
+	if !strings.Contains(errb.String(), "-merge") {
+		t.Errorf("stderr %q does not mention -merge", errb.String())
 	}
 }

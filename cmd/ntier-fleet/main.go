@@ -1,0 +1,333 @@
+// Command ntier-fleet runs multi-tenant consolidation campaigns: several
+// independent n-tier application stacks co-located on one shared node pool,
+// compared across placement strategies on per-tenant SLO attainment and
+// fleet-wide goodput per node.
+//
+// Race three placements for a 3-tenant fleet (one hot tenant between two
+// light ones) on 8 nodes with 2 server slots each:
+//
+//	ntier-fleet -nodes 8 -slots 2 -hw 1/1/1/1 -soft 60-4-4 \
+//	  -wl 400,2400,400 -placement PACKED,SPREAD,GREEDY
+//
+// Measure the noisy-neighbor interference matrix under PACKED, ramping each
+// tenant in turn to 3x its load:
+//
+//	ntier-fleet -nodes 8 -hw 1/1/1/1 -soft 60-4-4 -wl 400,400,400 \
+//	  -placement PACKED -interference -aggr-scale 3
+//
+// An open-loop tenant is declared as open:RATE (Poisson arrivals) in -wl.
+// With -calib-wl N, GREEDY's per-tier demand estimates are calibrated from
+// one single-app trial through the MVA surrogate instead of the defaults.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	ntier "github.com/softres/ntier"
+	"github.com/softres/ntier/internal/cli"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntier-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodes = fs.Int("nodes", 8, "shared pool size (physical nodes)")
+		slots = fs.Int("slots", 2, "tier-server slots per pool node")
+
+		hwS    = fs.String("hw", "1/1/1/1", "per-tenant hardware #W/#A/#C/#D (one, or comma list per tenant)")
+		softS  = fs.String("soft", "60-4-4", "per-tenant soft allocation Wt-At-Ac (one, or comma list per tenant)")
+		wlS    = fs.String("wl", "400,2400,400", "per-tenant load: closed-loop users, or open:RATE (req/s); one entry per tenant")
+		namesS = fs.String("names", "", "comma-separated tenant names (default t1..tN)")
+		think  = fs.Duration("think", 7*time.Second, "closed-loop think time")
+		sloS   = fs.String("slo", "1s", "per-tenant SLO bound (one, or comma list per tenant)")
+
+		placeS  = fs.String("placement", "PACKED,SPREAD,GREEDY", "comma-separated placements to race")
+		countsS = fs.String("counts", "", "tenant-count prefixes to sweep (default the full roster)")
+		scaleS  = fs.String("scale", "1", "comma-separated load multipliers on every closed-loop tenant")
+
+		seed      = fs.Uint64("seed", 1, "random seed (tenant seeds are derived per name)")
+		ramp      = fs.Duration("ramp", 40*time.Second, "ramp-up period (simulated)")
+		measure   = fs.Duration("measure", 60*time.Second, "measured period (simulated)")
+		budget    = fs.Int("budget", 0, "fleet-wide soft-unit budget split across tenants (0 = requests as-is)")
+		sloTarget = fs.Float64("slo-target", 0.95, "attainment fraction a tenant must reach to meet its SLO")
+
+		interference = fs.Bool("interference", false, "measure the aggressor x victim goodput-loss matrix instead of the sweep")
+		aggrScale    = fs.Float64("aggr-scale", 3, "interference: aggressor load multiplier (> 1)")
+
+		calibWL   = fs.Int("calib-wl", 0, "calibrate GREEDY tier demands from one single-app trial with this many users (0 = defaults)")
+		calibSoft = fs.String("calib-soft", "400-30-20", "calibration trial's generous allocation")
+
+		planOnly = fs.Bool("plan", false, "print the placement plans and exit without simulating")
+		csvPath  = fs.String("csv", "", "write per-tenant sweep results as CSV to this file")
+	)
+	common := cli.RegisterCommonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	tenants, err := parseTenants(*hwS, *softS, *wlS, *namesS, *sloS, *think)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	placements, err := parsePlacements(*placeS)
+	if err != nil {
+		return cli.Fail(fs, err)
+	}
+	counts, err := cli.ParseInts(*countsS)
+	if err != nil {
+		return cli.Fail(fs, fmt.Errorf("-counts: %w", err))
+	}
+	scales, err := cli.ParseFloats(*scaleS)
+	if err != nil {
+		return cli.Fail(fs, fmt.Errorf("-scale: %w", err))
+	}
+	if err := common.Validate(); err != nil {
+		return cli.Fail(fs, err)
+	}
+
+	ctx, stop := cli.WithSignalContext(context.Background())
+	defer stop()
+
+	base := ntier.RunConfig{RampUp: *ramp, Measure: *measure, Ctx: ctx}
+	common.Apply(&base)
+
+	cfg := ntier.FleetSweepConfig{
+		Run: base,
+		Fleet: ntier.FleetOptions{
+			Nodes:        *nodes,
+			SlotsPerNode: *slots,
+			Seed:         *seed,
+			Tenants:      tenants,
+			BudgetUnits:  *budget,
+		},
+		Placements:   placements,
+		TenantCounts: counts,
+		LoadScales:   scales,
+		SLOTarget:    *sloTarget,
+	}
+
+	if *planOnly {
+		for _, p := range placements {
+			opts := cfg.Fleet
+			opts.Placement = p
+			plan, perr := ntier.PlanFleet(opts)
+			if perr != nil {
+				fmt.Fprintln(stderr, perr)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s:\n%s", p, ntier.FormatFleetPlan(plan))
+		}
+		return 0
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, err)
+		if hint := cli.ResumeHint(*common.StateDir); hint != "" && cli.ExitCode(err) == cli.ExitInterrupted {
+			fmt.Fprintln(stderr, hint)
+		}
+		return cli.ExitCode(err)
+	}
+
+	// GREEDY ranks servers by estimated CPU demand; with -calib-wl the
+	// estimates come from the MVA surrogate calibrated on one single-app
+	// closed-loop trial (cheap next to the fleet trials, not journaled).
+	if *calibWL > 0 {
+		calib, cerr := ntier.ParseSoftAlloc(*calibSoft)
+		if cerr != nil {
+			return cli.Fail(fs, fmt.Errorf("-calib-soft: %w", cerr))
+		}
+		ccfg := base
+		ccfg.Testbed = ntier.TestbedOptions{Hardware: tenants[0].Hardware, Soft: calib, Seed: *seed}
+		ccfg.Measure = 45 * time.Second
+		ccfg.Users = *calibWL
+		ccfg.ObsDir = ""
+		fmt.Fprintf(stderr, "calibrating tier demands (%s, %d users)...\n", calib, *calibWL)
+		res, rerr := ntier.Run(ccfg)
+		if rerr != nil {
+			return fail(rerr)
+		}
+		sur, serr := ntier.CalibrateSurrogate(res)
+		if serr != nil {
+			return fail(fmt.Errorf("surrogate calibration: %w", serr))
+		}
+		cfg.Fleet.Demands = &ntier.FleetTierDemands{
+			Web: sur.WebDemand, App: sur.AppDemand, Mid: sur.MidDemand, DB: sur.DBDemand,
+		}
+	}
+
+	closeState, err := common.OpenState(&cfg.Run, ntier.Fingerprint(base, "ntier-fleet",
+		*hwS, *softS, *wlS, *namesS, *sloS, think.String(), *placeS, *countsS, *scaleS,
+		fmt.Sprint(*nodes), fmt.Sprint(*slots), fmt.Sprint(*budget), fmt.Sprint(*seed),
+		fmt.Sprint(*sloTarget), fmt.Sprint(*interference), fmt.Sprint(*aggrScale),
+		fmt.Sprint(*calibWL)))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if closeState != nil {
+		defer closeState()
+	}
+
+	if *interference {
+		m, merr := ntier.FleetInterference(cfg, placements[0], *aggrScale)
+		if merr != nil {
+			return fail(merr)
+		}
+		fmt.Fprintf(stdout, "interference under %s (aggressor load x%g; loss vs baseline goodput):\n\n",
+			m.Placement, m.Scale)
+		fmt.Fprint(stdout, m.Format())
+		fmt.Fprintf(stdout, "\nbaseline goodput: ")
+		for i, t := range m.Tenants {
+			fmt.Fprintf(stdout, "%s %.1f/s  ", t, m.Baseline[i])
+		}
+		fmt.Fprintln(stdout)
+		return 0
+	}
+
+	out, err := ntier.FleetSweep(cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(stdout, "fleet sweep: %d tenants on %d nodes x %d slots\n\n",
+		len(tenants), *nodes, *slots)
+	for _, r := range out.Results {
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s\n", r.Describe())
+		for _, t := range r.PerTenant {
+			met := "MET "
+			if !t.SLOMet {
+				met = "MISS"
+			}
+			fmt.Fprintf(stdout, "  %-10s %s  att %5.1f%%  goodput %7.1f/s  p95 %6.0fms  %s\n",
+				t.Tenant, met, t.Attainment*100, t.Goodput, t.P95*1000, t.Verdict)
+		}
+	}
+
+	if *csvPath != "" {
+		f, ferr := os.Create(*csvPath)
+		if ferr != nil {
+			fmt.Fprintln(stderr, ferr)
+			return 1
+		}
+		if werr := out.WriteCSV(f); werr != nil {
+			f.Close()
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(stderr, cerr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nper-tenant csv written to %s\n", *csvPath)
+	}
+	return 0
+}
+
+// parseTenants assembles the roster from the per-tenant flag lists. The -wl
+// list fixes the tenant count; -hw, -soft, and -slo broadcast a single
+// value or match it entry for entry.
+func parseTenants(hwS, softS, wlS, namesS, sloS string, think time.Duration) ([]ntier.FleetTenantSpec, error) {
+	loads := strings.Split(wlS, ",")
+	n := len(loads)
+
+	hws, err := broadcast("-hw", hwS, n, cli.ParseHardware)
+	if err != nil {
+		return nil, err
+	}
+	softs, err := broadcast("-soft", softS, n, cli.ParseSoftAlloc)
+	if err != nil {
+		return nil, err
+	}
+	slos, err := broadcast("-slo", sloS, n, time.ParseDuration)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if namesS != "" {
+		names = strings.Split(namesS, ",")
+		if len(names) != n {
+			return nil, fmt.Errorf("-names: %d names for %d tenants", len(names), n)
+		}
+	}
+
+	out := make([]ntier.FleetTenantSpec, n)
+	for i, l := range loads {
+		t := ntier.FleetTenantSpec{
+			Name:      fmt.Sprintf("t%d", i+1),
+			Hardware:  hws[i],
+			Soft:      softs[i],
+			ThinkMean: think,
+			SLO:       slos[i],
+		}
+		if names != nil {
+			t.Name = strings.TrimSpace(names[i])
+		}
+		l = strings.TrimSpace(l)
+		if rate, ok := strings.CutPrefix(l, "open:"); ok {
+			r, perr := strconv.ParseFloat(rate, 64)
+			if perr != nil || r <= 0 {
+				return nil, fmt.Errorf("-wl: bad open arrival rate %q", l)
+			}
+			t.Arrivals = ntier.PoissonArrivals(r)
+		} else {
+			u, perr := strconv.Atoi(l)
+			if perr != nil || u <= 0 {
+				return nil, fmt.Errorf("-wl: bad load %q (want users or open:RATE)", l)
+			}
+			t.Users = u
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// broadcast parses a comma list of n values, or replicates a single one.
+func broadcast[T any](flagName, s string, n int, parse func(string) (T, error)) ([]T, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 1 && len(parts) != n {
+		return nil, fmt.Errorf("%s: %d values for %d tenants", flagName, len(parts), n)
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		p := parts[0]
+		if len(parts) == n {
+			p = parts[i]
+		}
+		v, err := parse(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parsePlacements resolves the comma-separated placement list.
+func parsePlacements(s string) ([]ntier.FleetPlacement, error) {
+	var out []ntier.FleetPlacement
+	for _, f := range strings.Split(s, ",") {
+		p, err := ntier.ParsePlacement(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-placement: empty")
+	}
+	return out, nil
+}

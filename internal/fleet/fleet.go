@@ -1,0 +1,359 @@
+// Package fleet instantiates several independent n-tier application stacks
+// over one shared hardware pool inside a single DES run — the consolidation
+// setting the paper's single-application study (§II) leads to: soft
+// over-allocation in one tenant becomes a noisy-neighbor problem for every
+// stack sharing its CPUs and disks. Each tenant is a full testbed topology
+// built under its own namespace (so obs series, audits, and chaos discovery
+// stay unambiguous) with its servers aliased onto shared physical nodes
+// according to a placement plan; per-tenant workloads and SLOs then measure
+// how placement and soft-resource splits trade isolation for density.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softres/ntier/internal/des"
+	"github.com/softres/ntier/internal/fault"
+	"github.com/softres/ntier/internal/hw"
+	"github.com/softres/ntier/internal/netsim"
+	"github.com/softres/ntier/internal/resource"
+	"github.com/softres/ntier/internal/rng"
+	"github.com/softres/ntier/internal/rubbos"
+	"github.com/softres/ntier/internal/testbed"
+	"github.com/softres/ntier/internal/trace"
+)
+
+// TenantSpec describes one application stack of the fleet.
+type TenantSpec struct {
+	// Name namespaces every identity of the tenant's stack ("t1/tomcat1");
+	// it must be unique within the fleet and free of "/".
+	Name string
+
+	Hardware testbed.Hardware  // tier server counts
+	Soft     testbed.SoftAlloc // requested soft allocation (pre budget split)
+
+	// Closed-loop load: an emulated-user population with exponential think
+	// times (ThinkMean, default 7s). Ignored when Arrivals is set.
+	Users     int
+	ThinkMean time.Duration
+
+	// Arrivals, when set, drives the tenant with an open arrival process
+	// instead of a closed loop.
+	Arrivals trace.ArrivalSpec
+
+	// Mix is the navigation matrix (default browse-only).
+	Mix *rubbos.Matrix
+
+	// SLO is the tenant's response-time bound: responses within it count
+	// toward SLO attainment and goodput (default 1s).
+	SLO time.Duration
+}
+
+// slo returns the tenant's effective SLO threshold.
+func (t TenantSpec) slo() time.Duration {
+	if t.SLO > 0 {
+		return t.SLO
+	}
+	return time.Second
+}
+
+// Options configures a fleet build.
+type Options struct {
+	// Nodes is the shared pool size; SlotsPerNode caps how many tier
+	// servers one physical node hosts (default 2).
+	Nodes        int
+	SlotsPerNode int
+
+	NodeSpec    hw.Spec       // hardware per pool node (default PC3000)
+	LinkLatency time.Duration // tier-to-tier hop (testbed default)
+
+	Seed      uint64
+	Placement Placement // default SPREAD
+	Tenants   []TenantSpec
+
+	// Demands overrides the per-tier demand estimates GREEDY scores with
+	// (nil = DefaultTierDemands; wire a calibrated MVA surrogate's
+	// measured demands for sharper packing).
+	Demands *TierDemands
+
+	// BudgetUnits, when positive, caps the fleet's total soft-resource
+	// units: tenant allocations shrink proportionally via SplitBudget.
+	BudgetUnits int
+}
+
+func (o *Options) applyDefaults() {
+	if o.SlotsPerNode <= 0 {
+		o.SlotsPerNode = 2
+	}
+	if o.NodeSpec.Cores == 0 {
+		o.NodeSpec = hw.PC3000()
+	}
+	if o.Placement == "" {
+		o.Placement = PlacementSpread
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Nodes <= 0 {
+		return fmt.Errorf("fleet: pool needs at least one node")
+	}
+	if len(o.Tenants) == 0 {
+		return fmt.Errorf("fleet: no tenants")
+	}
+	seen := map[string]bool{}
+	for _, t := range o.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("fleet: tenant with empty name")
+		}
+		for i := 0; i < len(t.Name); i++ {
+			if t.Name[i] == '/' {
+				return fmt.Errorf("fleet: tenant name %q contains '/'", t.Name)
+			}
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fleet: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if err := t.Hardware.Validate(); err != nil {
+			return fmt.Errorf("fleet: tenant %s: %w", t.Name, err)
+		}
+		if t.Users <= 0 && t.Arrivals == nil {
+			return fmt.Errorf("fleet: tenant %s has neither users nor arrivals", t.Name)
+		}
+	}
+	return nil
+}
+
+// Tenant is one running stack of a built fleet.
+type Tenant struct {
+	Spec TenantSpec       // Soft holds the effective (post-budget-split) allocation
+	Seed uint64           // rng.SubSeed(fleet seed, "tenant/"+name)
+	TB   *testbed.Testbed // the tenant's namespaced topology
+
+	// Workload is set once StartWorkloads launches the tenant's load.
+	Workload *rubbos.Workload
+}
+
+// Fleet is a built multi-tenant deployment: one DES environment, one shared
+// node pool, N tenant stacks aliased onto it.
+type Fleet struct {
+	Env     *des.Env
+	Opts    Options
+	Pool    []*hw.Node // physical nodes, "node1".."nodeN"
+	Tenants []*Tenant
+	Plan    []Assignment
+}
+
+// Build plans the placement and constructs every tenant stack over the
+// shared pool. Tenant seeds are derived with rng.SubSeed keyed by tenant
+// name, so one tenant's draws never depend on which other tenants exist or
+// the order they are built in.
+func Build(opts Options) (*Fleet, error) {
+	opts.applyDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	plan, err := Plan(opts)
+	if err != nil {
+		return nil, err
+	}
+	softs, err := SplitBudget(opts.BudgetUnits, opts.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	byServer := make(map[string]int, len(plan))
+	for _, a := range plan {
+		byServer[a.Server] = a.nodeIdx
+	}
+
+	env := des.NewEnv()
+	f := &Fleet{Env: env, Opts: opts, Plan: plan}
+	for i := 0; i < opts.Nodes; i++ {
+		f.Pool = append(f.Pool, hw.NewNode(env, fmt.Sprintf("node%d", i+1), opts.NodeSpec))
+	}
+
+	for ti, spec := range opts.Tenants {
+		spec.Soft = softs[ti]
+		seed := rng.SubSeed(opts.Seed, "tenant/"+spec.Name)
+		var placeErr error
+		tb, berr := testbed.Build(testbed.Options{
+			Hardware:    spec.Hardware,
+			Soft:        spec.Soft,
+			Seed:        seed,
+			Env:         env,
+			Namespace:   spec.Name,
+			NodeSpec:    opts.NodeSpec,
+			LinkLatency: opts.LinkLatency,
+			Place: func(name string, _ hw.Spec) *hw.Node {
+				ni, ok := byServer[name]
+				if !ok {
+					// Unreachable as long as Plan and testbed.Build agree
+					// on server naming; fail the build loudly, not quietly
+					// misplace.
+					placeErr = fmt.Errorf("fleet: no placement for server %q", name)
+					return f.Pool[0].Alias(name)
+				}
+				return f.Pool[ni].Alias(name)
+			},
+		})
+		if berr != nil {
+			env.Shutdown()
+			return nil, fmt.Errorf("fleet: tenant %s: %w", spec.Name, berr)
+		}
+		if placeErr != nil {
+			env.Shutdown()
+			return nil, placeErr
+		}
+		f.Tenants = append(f.Tenants, &Tenant{Spec: spec, Seed: seed, TB: tb})
+	}
+	return f, nil
+}
+
+// Collector receives one tenant's completed interaction: the tenant index,
+// the interaction, issue time, response time, and error (nil on success).
+type Collector func(tenant int, it *rubbos.Interaction, issued, rt time.Duration, err error)
+
+// StartWorkloads launches every tenant's load: closed-loop populations ramp
+// their users in over clientRamp, open tenants start their arrival pumps
+// immediately. Each tenant draws from its own derived seed.
+func (f *Fleet) StartWorkloads(clientRamp time.Duration, collect Collector) error {
+	for ti, t := range f.Tenants {
+		ti := ti
+		var tcollect rubbos.Collector
+		if collect != nil {
+			tcollect = func(it *rubbos.Interaction, issued, rt time.Duration, err error) {
+				collect(ti, it, issued, rt, err)
+			}
+		}
+		mix := t.Spec.Mix
+		if mix == nil {
+			mix = rubbos.BrowseOnlyMix()
+		}
+		var w *rubbos.Workload
+		var err error
+		if t.Spec.Arrivals != nil {
+			w, err = t.TB.StartOpenWorkload(rubbos.OpenConfig{
+				Arrivals:    t.Spec.Arrivals,
+				ClientNodes: 2,
+				Matrix:      mix,
+				Seed:        t.Seed,
+			}, tcollect)
+		} else {
+			think := t.Spec.ThinkMean
+			if think <= 0 {
+				think = 7 * time.Second
+			}
+			w, err = t.TB.StartWorkload(rubbos.ClientConfig{
+				Users:       t.Spec.Users,
+				ClientNodes: 2,
+				ThinkMean:   think,
+				RampUp:      clientRamp,
+				Matrix:      mix,
+				Seed:        t.Seed,
+			}, tcollect)
+		}
+		if err != nil {
+			return fmt.Errorf("fleet: tenant %s workload: %w", t.Spec.Name, err)
+		}
+		t.Workload = w
+	}
+	return nil
+}
+
+// StopWorkloads stops every started workload (new requests cease; in-flight
+// ones drain as the simulation runs on).
+func (f *Fleet) StopWorkloads() {
+	for _, t := range f.Tenants {
+		if t.Workload != nil {
+			t.Workload.Stop()
+		}
+	}
+}
+
+// ResetStats starts a fresh measurement window on every tenant at once.
+// Shared hardware is reset through each alias; repeated resets at one
+// instant are idempotent, and resetting all tenants together keeps their
+// windows aligned on the shared CPUs.
+func (f *Fleet) ResetStats() {
+	for _, t := range f.Tenants {
+		t.TB.ResetStats()
+	}
+}
+
+// SoftUnits sums the currently allocated soft units across tenants.
+func (f *Fleet) SoftUnits() int {
+	units := 0
+	for _, t := range f.Tenants {
+		units += t.TB.SoftUnits()
+	}
+	return units
+}
+
+// FaultTargets merges every tenant's fault surface. Namespacing keeps the
+// keys disjoint; co-located tenants' CPU targets alias the same physical
+// processor, so browning out either name slows both (the injector's
+// refcounted composition keeps overlapping faults consistent).
+func (f *Fleet) FaultTargets() fault.Targets {
+	ft := fault.Targets{
+		Nodes:  map[string]fault.Downable{},
+		CPUs:   map[string]*resource.CPU{},
+		Pools:  map[string]*resource.Pool{},
+		Spikes: map[string]*netsim.Spike{},
+	}
+	for _, t := range f.Tenants {
+		sub := t.TB.FaultTargets()
+		for k, v := range sub.Nodes {
+			ft.Nodes[k] = v
+		}
+		for k, v := range sub.CPUs {
+			ft.CPUs[k] = v
+		}
+		for k, v := range sub.Pools {
+			ft.Pools[k] = v
+		}
+		for k, v := range sub.Spikes {
+			ft.Spikes[k] = v
+		}
+	}
+	return ft
+}
+
+// Audit runs every tenant's full conservation audit (scheduler, shared
+// hardware through each tenant's aliases, servers) plus the per-tenant
+// workload audits, returning all violations. Quiescent additionally
+// requires drained pools, idle CPUs at full speed, and stopped workloads
+// with nothing in flight — the fleet-wide conservation check the chaos
+// oracle and the consolidation regression tests rely on. Pure read.
+func (f *Fleet) Audit(quiescent bool) []error {
+	var errs []error
+	for _, t := range f.Tenants {
+		for _, err := range t.TB.Audit(quiescent) {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.Spec.Name, err))
+		}
+		if t.Workload == nil {
+			continue
+		}
+		werr := t.Workload.Audit()
+		if quiescent {
+			werr = t.Workload.AuditQuiescent()
+		}
+		if werr != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.Spec.Name, werr))
+		}
+	}
+	return errs
+}
+
+// Tenant returns the named tenant, or nil.
+func (f *Fleet) Tenant(name string) *Tenant {
+	for _, t := range f.Tenants {
+		if t.Spec.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Close shuts the shared environment down; every tenant is unusable after.
+func (f *Fleet) Close() { f.Env.Shutdown() }

@@ -56,8 +56,15 @@ func (d *Disk) Audit(quiescent bool) error {
 	return d.queue.Audit()
 }
 
-// AttachDisk adds a disk to the node (idempotent) and returns it.
+// AttachDisk adds a disk to the node (idempotent) and returns it. A logical
+// view (Alias) attaches the physical node's disk instead of creating its
+// own, so co-resident database servers queue FCFS behind one shared drive;
+// the shared disk keeps the physical node's name.
 func (n *Node) AttachDisk() *Disk {
+	if n.host != nil {
+		n.disk = n.host.AttachDisk()
+		return n.disk
+	}
 	if n.disk == nil {
 		n.disk = NewDisk(n.env, n.name+"/disk")
 	}

@@ -21,13 +21,19 @@ type Spec struct {
 // PC3000 is the node type every server in the paper runs on.
 func PC3000() Spec { return Spec{Name: "PC3000", Cores: 1, MemoryMiB: 2048} }
 
-// Node is one physical machine hosting exactly one server (the paper
-// allocates a dedicated node per server).
+// Node is one machine hosting a server. In the paper every server owns a
+// dedicated node; consolidation scenarios instead give each server a
+// logical view (Alias) of a shared physical node, so several tenants'
+// servers contend for one CPU and disk while keeping distinct identities.
 type Node struct {
 	env  *des.Env
 	name string
 	spec Spec
 	cpu  *resource.CPU
+
+	// host is the physical node this logical view shares hardware with
+	// (nil when the node owns its hardware).
+	host *Node
 
 	// overheads are cumulative busy-second integrals from co-resident
 	// overhead sources (JVM GC); they add to CPU utilization.
@@ -47,6 +53,31 @@ func NewNode(env *des.Env, name string, spec Spec) *Node {
 		spec: spec,
 		cpu:  resource.NewCPU(env, name+"/cpu", spec.Cores),
 	}
+}
+
+// Alias returns a logical node named name that shares this node's CPU (and
+// disk, once any view attaches one) — the co-location primitive of the
+// multi-tenant fleet. Work done through the alias contends for the shared
+// processor-sharing CPU with every other view, so interference between
+// co-resident tenants falls out of the hardware model; the alias keeps its
+// own name (pool, obs-series, and fault-target identities stay
+// unambiguous) and its own overhead registry (a tenant's GC integral is
+// charged to its own logical node only).
+func (n *Node) Alias(name string) *Node {
+	host := n
+	if n.host != nil {
+		host = n.host
+	}
+	return &Node{env: n.env, name: name, spec: n.spec, cpu: n.cpu, host: host}
+}
+
+// Host returns the name of the physical node whose hardware this node uses:
+// the alias target for a logical view, the node's own name otherwise.
+func (n *Node) Host() string {
+	if n.host != nil {
+		return n.host.name
+	}
+	return n.name
 }
 
 // Name returns the node name.

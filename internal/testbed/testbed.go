@@ -20,6 +20,24 @@ type Options struct {
 	Soft     SoftAlloc
 	Seed     uint64
 
+	// Env, when set, builds the topology into an existing simulation
+	// environment so several stacks can share one DES run (the fleet's
+	// consolidation scenarios). The environment's owner shuts it down;
+	// Close on a testbed that borrowed its Env leaves it running.
+	Env *des.Env
+
+	// Namespace, when non-empty, prefixes every node, pool, RNG-stream,
+	// and fault-target identity with "<Namespace>/" so obs series,
+	// audits, and chaos discovery stay unambiguous when several stacks
+	// coexist. Empty reproduces the paper's bare names exactly.
+	Namespace string
+
+	// Place, when set, supplies the hardware node hosting each
+	// (namespaced) server — the fleet maps several servers onto one
+	// physical node via hw.Node.Alias. Nil keeps the paper's dedicated
+	// node per server.
+	Place func(name string, spec hw.Spec) *hw.Node
+
 	NodeSpec    hw.Spec       // hardware per node (default PC3000)
 	LinkLatency time.Duration // tier-to-tier hop (default 150µs)
 
@@ -66,7 +84,16 @@ type Testbed struct {
 	// fault injector's "link" target); zero extra means no change.
 	LinkSpike *netsim.Spike
 
-	rr int // front-end round-robin cursor
+	rr      int  // front-end round-robin cursor
+	ownsEnv bool // Close shuts the Env down only when Build created it
+}
+
+// qualify prefixes base with the build namespace (identity when empty).
+func (tb *Testbed) qualify(base string) string {
+	if tb.Opts.Namespace == "" {
+		return base
+	}
+	return tb.Opts.Namespace + "/" + base
 }
 
 // Build constructs the topology described by opts.
@@ -83,15 +110,30 @@ func Build(opts Options) (*Testbed, error) {
 	if opts.LinkLatency == 0 {
 		opts.LinkLatency = 700 * time.Microsecond
 	}
-	env := des.NewEnv()
+	env := opts.Env
+	if env == nil {
+		env = des.NewEnv()
+	}
 	spike := &netsim.Spike{}
 	link := netsim.Link{Latency: opts.LinkLatency, Spike: spike}
-	tb := &Testbed{Env: env, Opts: opts, Table: rubbos.NewTable(), LinkSpike: spike}
+	tb := &Testbed{Env: env, Opts: opts, Table: rubbos.NewTable(),
+		LinkSpike: spike, ownsEnv: opts.Env == nil}
+
+	// newNode names and places one server's node: namespaced, then either
+	// dedicated hardware (the paper's model) or whatever the placement
+	// hook returns (a shared physical node in fleet scenarios).
+	newNode := func(base string) *hw.Node {
+		name := tb.qualify(base)
+		if opts.Place != nil {
+			return opts.Place(name, opts.NodeSpec)
+		}
+		return hw.NewNode(env, name, opts.NodeSpec)
+	}
 
 	// Database tier. Every database node carries a disk for synchronous
 	// write commits (idle under the browsing mix).
 	for i := 0; i < opts.Hardware.DB; i++ {
-		node := hw.NewNode(env, fmt.Sprintf("mysql%d", i+1), opts.NodeSpec)
+		node := newNode(fmt.Sprintf("mysql%d", i+1))
 		node.AttachDisk()
 		r := rng.NewStream(opts.Seed, node.Name())
 		tb.MySQLs = append(tb.MySQLs, tier.NewMySQL(env, node, link, r))
@@ -107,7 +149,7 @@ func Build(opts Options) (*Testbed, error) {
 		if opts.DisableGC {
 			cfg.JVM.HeapMiB = 1e12
 		}
-		node := hw.NewNode(env, fmt.Sprintf("cjdbc%d", i+1), opts.NodeSpec)
+		node := newNode(fmt.Sprintf("cjdbc%d", i+1))
 		r := rng.NewStream(opts.Seed, node.Name())
 		tb.CJDBCs = append(tb.CJDBCs, tier.NewCJDBC(env, node, cfg, tb.MySQLs, link, r))
 	}
@@ -122,7 +164,7 @@ func Build(opts Options) (*Testbed, error) {
 		if opts.DisableGC {
 			cfg.JVM.HeapMiB = 1e12
 		}
-		node := hw.NewNode(env, fmt.Sprintf("tomcat%d", i+1), opts.NodeSpec)
+		node := newNode(fmt.Sprintf("tomcat%d", i+1))
 		r := rng.NewStream(opts.Seed, node.Name())
 		backend := tb.CJDBCs[i%len(tb.CJDBCs)]
 		t := tier.NewTomcat(env, node, cfg, backend, link, r)
@@ -147,7 +189,7 @@ func Build(opts Options) (*Testbed, error) {
 	// Client-facing network segment.
 	var clientLink *netsim.SharedLink
 	if opts.ClientLinkMbps > 0 {
-		clientLink = netsim.NewSharedLink(env, "clientlink", opts.ClientLinkMbps, opts.LinkLatency)
+		clientLink = netsim.NewSharedLink(env, tb.qualify("clientlink"), opts.ClientLinkMbps, opts.LinkLatency)
 		tb.ClientLink = clientLink
 	}
 
@@ -160,7 +202,7 @@ func Build(opts Options) (*Testbed, error) {
 		if opts.DisableFinWait {
 			cfg.Fin = netsim.FinConfig{}
 		}
-		node := hw.NewNode(env, fmt.Sprintf("apache%d", i+1), opts.NodeSpec)
+		node := newNode(fmt.Sprintf("apache%d", i+1))
 		r := rng.NewStream(opts.Seed, node.Name())
 		a := tier.NewApache(env, node, cfg, tb.Tomcats, link, r)
 		a.SetClientLink(clientLink)
@@ -234,7 +276,7 @@ func (tb *Testbed) FaultTargets() fault.Targets {
 		Nodes:  map[string]fault.Downable{},
 		CPUs:   map[string]*resource.CPU{},
 		Pools:  map[string]*resource.Pool{},
-		Spikes: map[string]*netsim.Spike{"link": tb.LinkSpike},
+		Spikes: map[string]*netsim.Spike{tb.qualify("link"): tb.LinkSpike},
 	}
 	for _, n := range tb.Nodes() {
 		ft.CPUs[n.Name()] = n.CPU()
@@ -364,7 +406,13 @@ func (tb *Testbed) ResetStats() {
 }
 
 // Close unwinds all simulation processes; the testbed is unusable after.
-func (tb *Testbed) Close() { tb.Env.Shutdown() }
+// A testbed built into a borrowed Env (Options.Env) leaves the environment
+// running — its owner (the fleet) shuts it down once for every tenant.
+func (tb *Testbed) Close() {
+	if tb.ownsEnv {
+		tb.Env.Shutdown()
+	}
+}
 
 // Audit runs every component's invariant audit — the DES scheduler, each
 // node's hardware, and each server's bookkeeping — and returns all

@@ -35,7 +35,9 @@ import (
 	"github.com/softres/ntier/internal/core"
 	"github.com/softres/ntier/internal/experiment"
 	"github.com/softres/ntier/internal/fault"
+	"github.com/softres/ntier/internal/fleet"
 	"github.com/softres/ntier/internal/obs"
+	"github.com/softres/ntier/internal/rng"
 	"github.com/softres/ntier/internal/rubbos"
 	"github.com/softres/ntier/internal/search"
 	"github.com/softres/ntier/internal/sla"
@@ -529,3 +531,85 @@ func DiscoverChaosTargets(opts TestbedOptions) (ChaosTargetSet, error) { return 
 func ShrinkPlan(plan FaultPlan, class string, budget int, run func(FaultPlan) (*ChaosVerdict, error)) (ChaosShrinkResult, error) {
 	return chaos.Shrink(plan, class, budget, run)
 }
+
+// Multi-tenant fleet consolidation (see cmd/ntier-fleet and DESIGN.md):
+// several independent application stacks co-located on one shared node
+// pool, with placement strategies, per-tenant SLOs, and noisy-neighbor
+// interference measurement.
+type (
+	// FleetPlacement selects the server-to-node mapping strategy
+	// (PACKED, SPREAD, GREEDY).
+	FleetPlacement = fleet.Placement
+	// FleetTenantSpec describes one tenant stack: topology, soft
+	// allocation, load, and SLO.
+	FleetTenantSpec = fleet.TenantSpec
+	// FleetOptions configures a fleet build: pool, roster, placement,
+	// and soft-resource budget.
+	FleetOptions = fleet.Options
+	// Fleet is a built multi-tenant deployment sharing one DES run.
+	Fleet = fleet.Fleet
+	// FleetAssignment maps one tenant server onto one pool node.
+	FleetAssignment = fleet.Assignment
+	// FleetTierDemands is the per-tier demand estimate GREEDY scores
+	// with; calibrate from the MVA surrogate for sharper packing.
+	FleetTierDemands = fleet.TierDemands
+	// FleetSweepConfig describes a placement x tenants x load campaign.
+	FleetSweepConfig = experiment.FleetSweepConfig
+	// FleetResult is one fleet trial with per-tenant SLO outcomes.
+	FleetResult = experiment.FleetResult
+	// FleetTenantResult is one tenant's outcome within a fleet trial.
+	FleetTenantResult = experiment.FleetTenantResult
+	// FleetOutcome is the full sweep grid.
+	FleetOutcome = experiment.FleetOutcome
+	// InterferenceMatrix is the aggressor x victim goodput-loss matrix.
+	InterferenceMatrix = experiment.InterferenceMatrix
+)
+
+// Placement strategies.
+const (
+	FleetPacked = fleet.PlacementPacked
+	FleetSpread = fleet.PlacementSpread
+	FleetGreedy = fleet.PlacementGreedy
+)
+
+// ParsePlacement resolves a placement name (case-insensitive).
+func ParsePlacement(s string) (FleetPlacement, error) { return fleet.ParsePlacement(s) }
+
+// FleetPlacements lists every placement strategy.
+func FleetPlacements() []FleetPlacement { return fleet.Placements() }
+
+// DefaultTierDemands is the ballpark browsing-mix demand estimate.
+func DefaultTierDemands() FleetTierDemands { return fleet.DefaultTierDemands() }
+
+// BuildFleet plans the placement and constructs every tenant stack.
+func BuildFleet(opts FleetOptions) (*Fleet, error) { return fleet.Build(opts) }
+
+// PlanFleet computes the placement without building (pure, deterministic).
+func PlanFleet(opts FleetOptions) ([]FleetAssignment, error) { return fleet.Plan(opts) }
+
+// FormatFleetPlan renders a placement plan grouped by node.
+func FormatFleetPlan(plan []FleetAssignment) string { return fleet.FormatPlan(plan) }
+
+// RunFleet executes one consolidation trial.
+func RunFleet(cfg FleetSweepConfig, p FleetPlacement, tenants int, scale float64) (*FleetResult, error) {
+	return experiment.RunFleet(cfg, p, tenants, scale)
+}
+
+// FleetSweep runs the placement x tenant-count x load grid, journaled and
+// resumable.
+func FleetSweep(cfg FleetSweepConfig) (*FleetOutcome, error) { return experiment.FleetSweep(cfg) }
+
+// FleetInterference measures the noisy-neighbor matrix for one placement.
+func FleetInterference(cfg FleetSweepConfig, p FleetPlacement, scale float64) (*InterferenceMatrix, error) {
+	return experiment.FleetInterference(cfg, p, scale)
+}
+
+// DiscoverFleetChaosTargets builds a throwaway fleet and extracts its
+// merged, tenant-namespaced fault surface.
+func DiscoverFleetChaosTargets(opts FleetOptions) (ChaosTargetSet, error) {
+	return chaos.DiscoverFleet(opts)
+}
+
+// SubSeed derives an independent base seed for a named component from a
+// parent seed (tenant seeds are SubSeed(fleet seed, "tenant/"+name)).
+func SubSeed(seed uint64, key string) uint64 { return rng.SubSeed(seed, key) }
